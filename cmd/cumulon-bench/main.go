@@ -1,0 +1,51 @@
+// Command cumulon-bench regenerates the paper's evaluation tables and
+// figures (experiments E01..E12; see DESIGN.md for the mapping).
+//
+// Usage:
+//
+//	cumulon-bench              # run every experiment
+//	cumulon-bench -exp E04     # run one experiment
+//	cumulon-bench -seed 7      # change the reproduction seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cumulon/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	seed := flag.Int64("seed", 42, "reproduction seed")
+	quiet := flag.Bool("q", false, "suppress per-experiment timing")
+	format := flag.String("format", "text", "table format: text, markdown, or csv")
+	flag.Parse()
+
+	s := bench.NewSuite(*seed)
+	run := func(id string) error {
+		t0 := time.Now()
+		if _, err := s.RunOneFormat(id, os.Stdout, *format); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		}
+		return nil
+	}
+	if *exp != "" {
+		if err := run(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range bench.All() {
+		if err := run(e.ID); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

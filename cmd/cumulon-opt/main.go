@@ -1,0 +1,117 @@
+// Command cumulon-opt runs Cumulon's cost-based deployment optimizer on a
+// matrix program: given a deadline (seconds) or a budget (dollars), it
+// searches machine types, cluster sizes, slot configurations and physical
+// plan parameters, and prints the recommended deployment plus the
+// time/cost Pareto frontier.
+//
+// Usage:
+//
+//	cumulon-opt -f prog.cm -deadline 3600
+//	cumulon-opt -f prog.cm -budget 25 -max-nodes 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/opt"
+	"cumulon/internal/plan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cumulon-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("f", "", "program file (default: stdin)")
+	deadline := flag.Float64("deadline", 0, "deadline in seconds (minimize cost)")
+	budget := flag.Float64("budget", 0, "budget in dollars (minimize time)")
+	tile := flag.Int("tile", 2048, "tile size in elements")
+	density := flag.Float64("density", 0.05, "assumed density of sparse inputs")
+	maxNodes := flag.Int("max-nodes", 64, "largest cluster size to consider")
+	seed := flag.Int64("seed", 42, "calibration seed")
+	confidence := flag.Float64("confidence", 0,
+		"promise the deadline at this probability (e.g. 0.95) instead of in expectation")
+	showFrontier := flag.Bool("frontier", true, "print the time/cost Pareto frontier")
+	flag.Parse()
+
+	if (*deadline <= 0) == (*budget <= 0) {
+		return fmt.Errorf("specify exactly one of -deadline or -budget")
+	}
+	src, err := readSource(*file)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	cfg := plan.Config{TileSize: *tile, Densities: map[string]float64{}}
+	for _, in := range prog.Inputs {
+		if in.Sparse {
+			cfg.Densities[in.Name] = *density
+		}
+	}
+	req := opt.Request{
+		Program:       prog,
+		PlanCfg:       cfg,
+		DeadlineSec:   *deadline,
+		BudgetDollars: *budget,
+		MaxNodes:      *maxNodes,
+		Confidence:    *confidence,
+	}
+	o := opt.New(*seed)
+	var res *opt.Result
+	if *deadline > 0 {
+		res, err = o.MinCostForDeadline(req)
+	} else {
+		res, err = o.MinTimeForBudget(req)
+	}
+	if err != nil {
+		return err
+	}
+	if !res.Met {
+		fmt.Println("constraint NOT satisfiable; closest deployment:")
+	} else {
+		fmt.Println("recommended deployment:")
+	}
+	b := res.Best
+	fmt.Printf("  %s\n", b.Cluster)
+	if *confidence > 0 {
+		fmt.Printf("  time at %.0f%% confidence: %.1fs (%.2fh)\n", *confidence*100, b.PredSeconds, b.PredSeconds/3600)
+	} else {
+		fmt.Printf("  predicted time: %.1fs (%.2fh)\n", b.PredSeconds, b.PredSeconds/3600)
+	}
+	fmt.Printf("  billed cost:    $%.2f (linear $%.2f)\n", b.Cost, b.CostLinear)
+	fmt.Printf("  splits:\n")
+	pl, err := plan.Compile(prog, cfg)
+	if err != nil {
+		return err
+	}
+	for _, j := range pl.Jobs {
+		fmt.Printf("    job %d %-24s %v\n", j.ID, j.Name, b.Splits[j.ID])
+	}
+	if *showFrontier {
+		fmt.Printf("\ntime/cost frontier (%d candidates evaluated):\n", len(res.Candidates))
+		fmt.Printf("  %-26s %12s %10s\n", "deployment", "time (s)", "cost ($)")
+		for _, d := range res.Frontier {
+			fmt.Printf("  %-26s %12.1f %10.2f\n", d.Cluster, d.PredSeconds, d.Cost)
+		}
+	}
+	return nil
+}
+
+func readSource(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,195 @@
+// Command cumulon compiles and runs a matrix program on a simulated cloud
+// cluster, reporting the plan, per-job timings and the bill.
+//
+// Programs use the textual syntax of package lang, e.g.:
+//
+//	input V 100000 50000 sparse
+//	input W 100000 10
+//	input H 10 50000
+//	H = H .* (W' * V) ./ ((W' * W) * H)
+//	W = W .* (V * H') ./ (W * (H * H'))
+//	output W
+//	output H
+//
+// Usage:
+//
+//	cumulon -f prog.cm -machine c1.medium -nodes 16 -slots 2
+//	cumulon -f prog.cm -materialize      # small programs: compute real values
+//	echo 'input A 4096 4096 ...' | cumulon
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cumulon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("f", "", "program file (default: stdin)")
+	machine := flag.String("machine", "m1.large", "machine type")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	slots := flag.Int("slots", 2, "task slots per node")
+	tile := flag.Int("tile", 2048, "tile size in elements")
+	density := flag.Float64("density", 0.05, "assumed density of sparse inputs")
+	materialize := flag.Bool("materialize", false,
+		"compute real values on random inputs (small programs only) and print output stats")
+	seed := flag.Int64("seed", 42, "seed for data, placement and noise")
+	showPlan := flag.Bool("plan", true, "print the compiled physical plan")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	dot := flag.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
+	flag.Parse()
+	if *asJSON {
+		*showPlan = false
+	}
+
+	src, err := readSource(*file)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	mt, err := cloud.TypeByName(*machine)
+	if err != nil {
+		return err
+	}
+	cluster, err := cloud.NewCluster(mt, *nodes, *slots)
+	if err != nil {
+		return err
+	}
+	cfg := plan.Config{TileSize: *tile, Densities: map[string]float64{}}
+	for _, in := range prog.Inputs {
+		if in.Sparse {
+			cfg.Densities[in.Name] = *density
+		}
+	}
+
+	sess := core.NewSession(*seed)
+	if *dot {
+		pl, err := sess.Compile(prog, cfg)
+		if err != nil {
+			return err
+		}
+		pl.AutoSplit(cluster.TotalSlots())
+		fmt.Print(pl.ToDOT())
+		return nil
+	}
+	if *showPlan {
+		pl, err := sess.Compile(prog, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pl)
+		fmt.Println()
+	}
+
+	opts := core.ExecOptions{Cluster: cluster}
+	if *materialize {
+		opts.Inputs = randomInputs(prog, cfg, *seed)
+	}
+	res, err := sess.Run(prog, cfg, opts)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		return emitJSON(cluster, res)
+	}
+
+	fmt.Printf("cluster: %s\n", cluster)
+	fmt.Printf("jobs:\n")
+	for _, j := range res.Metrics.Jobs {
+		fmt.Printf("  %-24s %-4s %4d tasks  %8.1fs\n", j.Name, j.Kind, j.Tasks, j.Seconds())
+	}
+	fmt.Printf("total time: %.1fs (%.2fh)\n", res.Metrics.TotalSeconds, res.Metrics.TotalSeconds/3600)
+	fmt.Printf("total work: %.1f Gflops, %.2f GB read, %.2f GB written\n",
+		float64(res.Metrics.TotalFlops)/1e9,
+		float64(res.Metrics.TotalReadBytes)/1e9,
+		float64(res.Metrics.TotalWriteBytes)/1e9)
+	fmt.Printf("bill: $%.2f\n", res.CostDollars)
+	for name, d := range res.Outputs {
+		fmt.Printf("output %s: %dx%d, frobenius %.4g\n", name, d.Rows, d.Cols, d.FrobeniusNorm())
+	}
+	return nil
+}
+
+// emitJSON writes a machine-readable run report to stdout.
+func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
+	type jobOut struct {
+		Name    string  `json:"name"`
+		Kind    string  `json:"kind"`
+		Tasks   int     `json:"tasks"`
+		Seconds float64 `json:"seconds"`
+	}
+	report := struct {
+		Cluster      string   `json:"cluster"`
+		Machine      string   `json:"machine"`
+		Nodes        int      `json:"nodes"`
+		Slots        int      `json:"slots"`
+		TotalSeconds float64  `json:"total_seconds"`
+		CostDollars  float64  `json:"cost_dollars"`
+		TotalGflops  float64  `json:"total_gflops"`
+		ReadGB       float64  `json:"read_gb"`
+		WriteGB      float64  `json:"write_gb"`
+		Jobs         []jobOut `json:"jobs"`
+	}{
+		Cluster:      cluster.String(),
+		Machine:      cluster.Type.Name,
+		Nodes:        cluster.Nodes,
+		Slots:        cluster.Slots,
+		TotalSeconds: res.Metrics.TotalSeconds,
+		CostDollars:  res.CostDollars,
+		TotalGflops:  float64(res.Metrics.TotalFlops) / 1e9,
+		ReadGB:       float64(res.Metrics.TotalReadBytes) / 1e9,
+		WriteGB:      float64(res.Metrics.TotalWriteBytes) / 1e9,
+	}
+	for _, j := range res.Metrics.Jobs {
+		report.Jobs = append(report.Jobs, jobOut{Name: j.Name, Kind: j.Kind, Tasks: j.Tasks, Seconds: j.Seconds()})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func readSource(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func randomInputs(prog *lang.Program, cfg plan.Config, seed int64) map[string]*linalg.Dense {
+	data := map[string]*linalg.Dense{}
+	for i, in := range prog.Inputs {
+		s := seed + int64(i)*7
+		if in.Sparse {
+			d := cfg.Densities[in.Name]
+			if d <= 0 || d > 1 {
+				d = 0.05
+			}
+			data[in.Name] = linalg.RandomSparseDense(in.Rows, in.Cols, d, s)
+		} else {
+			data[in.Name] = linalg.RandomDense(in.Rows, in.Cols, s).
+				Map(func(x float64) float64 { return x + 0.1 })
+		}
+	}
+	return data
+}

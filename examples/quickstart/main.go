@@ -1,0 +1,71 @@
+// Quickstart: write a small matrix program, run it on a simulated 4-node
+// cluster with real (materialized) data, and check the result against the
+// in-memory reference interpreter.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+const program = `
+program quickstart
+input A 200 150
+input B 150 100
+C = A * B              # one fused multiply job
+D = abs(C .* C - 2*C)  # element-wise pipeline, fused into one map job
+output D
+`
+
+func main() {
+	sess := core.NewSession(1)
+
+	// Compile and show the physical plan Cumulon produces.
+	prog, err := lang.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := plan.Config{TileSize: 32}
+	pl, err := sess.Compile(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pl)
+
+	// Provision a 4-node cluster of m1.large and run with real data.
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := cloud.NewCluster(mt, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := map[string]*linalg.Dense{
+		"A": linalg.RandomDense(200, 150, 7),
+		"B": linalg.RandomDense(150, 100, 8),
+	}
+	res, err := sess.Run(prog, cfg, core.ExecOptions{Cluster: cluster, Inputs: inputs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nran on %s in %.1f virtual seconds, bill $%.2f\n",
+		cluster, res.Metrics.TotalSeconds, res.CostDollars)
+
+	// Verify against the reference interpreter.
+	want, err := lang.Interpret(prog, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := res.Outputs["D"]
+	fmt.Printf("output D: %dx%d, max |engine - reference| = %.3g\n",
+		got.Rows, got.Cols, got.MaxAbsDiff(want["D"]))
+}

@@ -1,0 +1,74 @@
+// Regression: train linear least squares by gradient descent on the
+// simulated cluster, watch the loss fall, and compare Cumulon's execution
+// against the MapReduce baseline on the same program.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/linalg"
+	"cumulon/internal/mapred"
+	"cumulon/internal/plan"
+	"cumulon/internal/workloads"
+)
+
+func main() {
+	sess := core.NewSession(42)
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1 (materialized): y = X wTrue + noise; descend and report loss.
+	n, d := 400, 8
+	x := linalg.RandomDense(n, d, 1)
+	wTrue := linalg.RandomDense(d, 1, 2)
+	y := x.Mul(wTrue).Add(linalg.RandomDense(n, 1, 3).Scale(0.01))
+	w0 := linalg.NewDense(d, 1)
+	loss := func(w *linalg.Dense) float64 { return x.Mul(w).Sub(y).FrobeniusNorm() }
+
+	fmt.Println("gradient descent on the simulated cluster:")
+	fmt.Printf("  iters=0: loss %.4f\n", loss(w0))
+	for _, iters := range []int{5, 20, 80} {
+		wl := workloads.Regression(n, d, iters, 0.002)
+		res, err := sess.Run(wl.Prog, plan.Config{TileSize: 32}, core.ExecOptions{
+			Cluster: cl,
+			Inputs:  map[string]*linalg.Dense{"X": x, "y": y, "w": w0},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  iters=%d: loss %.4f (%.1f virtual s)\n",
+			iters, loss(res.Outputs["w"]), res.Metrics.TotalSeconds)
+	}
+
+	// Part 2 (paper scale, virtual): Cumulon vs the MapReduce baseline on
+	// ten iterations over a 1M x 1000 design matrix.
+	big := workloads.Regression(1000000, 1000, 10, 1e-6)
+	bigCl, _ := cloud.NewCluster(mt, 16, 2)
+	cres, err := sess.Run(big.Prog, plan.Config{TileSize: 2048}, core.ExecOptions{Cluster: bigCl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mr, err := mapred.New(mapred.Config{Cluster: bigCl, BlockSize: 2048, Seed: 42, NoiseFactor: 0.08})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mres, _, err := mr.Run(big.Prog, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n10 iterations on 1M x 1000 (%s):\n", bigCl)
+	fmt.Printf("  cumulon:   %8.1fs  (%d jobs)\n", cres.Metrics.TotalSeconds, len(cres.Metrics.Jobs))
+	fmt.Printf("  mapreduce: %8.1fs  (%d jobs)\n", mres.TotalSeconds, len(mres.Jobs))
+	fmt.Printf("  speedup:   %.2fx\n", mres.TotalSeconds/cres.Metrics.TotalSeconds)
+}

@@ -1,0 +1,3 @@
+module cumulon
+
+go 1.22

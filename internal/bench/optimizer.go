@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/opt"
+	"cumulon/internal/plan"
+	"cumulon/internal/workloads"
+)
+
+// optWorkload is the GNMF instance the optimization experiments share —
+// sized so that a single cheap node needs several hours and the deadline
+// sweep exercises real provisioning decisions.
+func optWorkload() workloads.Workload {
+	return workloads.GNMF(400000, 200000, 50, 4, 0.05)
+}
+
+func (s *Suite) optRequest(w workloads.Workload, maxNodes int, machines ...string) opt.Request {
+	req := opt.Request{
+		Program:  w.Prog,
+		PlanCfg:  plan.Config{TileSize: tileSize, Densities: w.Densities},
+		MaxNodes: maxNodes,
+	}
+	for _, name := range machines {
+		mt, err := cloud.TypeByName(name)
+		if err != nil {
+			panic(err)
+		}
+		req.Machines = append(req.Machines, mt)
+	}
+	return req
+}
+
+// E10CostDeadline reproduces the central optimization figure: the minimum
+// achievable cost as a function of the deadline, with the deployment the
+// optimizer picks at each point, plus the overall time/cost Pareto
+// frontier.
+func (s *Suite) E10CostDeadline() (*Result, error) {
+	r := newResult("E10", "Optimal cost vs deadline (GNMF, full catalog, <=64 nodes)",
+		"deadline h", "met", "cost $", "deployment", "pred s")
+	w := optWorkload()
+	req := s.optRequest(w, 64)
+	// One enumeration serves all deadlines.
+	cands, err := s.Sess.Optimizer().Enumerate(req)
+	if err != nil {
+		return nil, err
+	}
+	prevCost := 0.0
+	first := true
+	for _, hours := range []float64{0.5, 1, 2, 4, 8, 16} {
+		deadline := hours * 3600
+		var best *opt.Deployment
+		for i := range cands {
+			d := &cands[i]
+			if d.PredSeconds > deadline {
+				continue
+			}
+			if best == nil || d.Cost < best.Cost {
+				best = d
+			}
+		}
+		if best == nil {
+			r.Table.AddRow(f1(hours), "no", "-", "-", "-")
+			continue
+		}
+		r.Table.AddRow(f1(hours), "yes", f2(best.Cost), best.Cluster.String(), f1(best.PredSeconds))
+		r.Checks[fmt.Sprintf("cost:%gh", hours)] = best.Cost
+		if !first && best.Cost > prevCost+1e-9 {
+			r.Checks["nonmonotone"] = 1
+		}
+		prevCost = best.Cost
+		first = false
+	}
+	// Frontier shape as a sanity check of the tradeoff space.
+	rq := req
+	rq.DeadlineSec = 16 * 3600
+	res, err := s.Sess.Optimizer().MinCostForDeadline(rq)
+	if err != nil {
+		return nil, err
+	}
+	frontier := len(res.Frontier)
+	minCost := res.Frontier[frontier-1].Cost
+	r.Checks["frontier"] = float64(frontier)
+	r.Checks["cheapest"] = minCost
+	r.Table.Notes = fmt.Sprintf("Pareto frontier has %d points; cheapest overall $%.2f", frontier, minCost)
+	return r, nil
+}
+
+// E11MachineChoice reproduces the provisioning-choice figure: which
+// machine type the optimizer picks as the deadline tightens, for a
+// CPU-bound and an I/O-bound workload.
+func (s *Suite) E11MachineChoice() (*Result, error) {
+	r := newResult("E11", "Machine-type choice vs deadline (CPU-bound and I/O-bound)",
+		"workload", "deadline h", "machine", "nodes", "cost $")
+	cpuW := workloads.MatMul(32768, 32768, 32768)
+
+	ioProg, err := lang.Parse(`
+input A 60000 20000
+input B 60000 20000
+C = A .* B + A
+output C
+`)
+	if err != nil {
+		return nil, err
+	}
+	ioW := workloads.Workload{Name: "elementwise-io", Prog: ioProg}
+
+	for _, entry := range []struct {
+		w     workloads.Workload
+		label string
+	}{{cpuW, "cpu"}, {ioW, "io"}} {
+		req := s.optRequest(entry.w, 16, "m1.small", "c1.xlarge")
+		cands, err := s.Sess.Optimizer().Enumerate(req)
+		if err != nil {
+			return nil, err
+		}
+		fastest := 0.0
+		for _, d := range cands {
+			if fastest == 0 || d.PredSeconds < fastest {
+				fastest = d.PredSeconds
+			}
+		}
+		for _, f := range []float64{8, 2, 1.05} {
+			deadline := fastest * f
+			var best *opt.Deployment
+			for i := range cands {
+				d := &cands[i]
+				if d.PredSeconds > deadline {
+					continue
+				}
+				if best == nil || d.Cost < best.Cost {
+					best = d
+				}
+			}
+			if best == nil {
+				continue
+			}
+			r.Table.AddRow(entry.label, f2(deadline/3600), best.Cluster.Type.Name,
+				d0(best.Cluster.Nodes), f2(best.Cost))
+			r.Checks[fmt.Sprintf("%s:%g:xlarge", entry.label, f)] = boolTo01(best.Cluster.Type.Name == "c1.xlarge")
+		}
+	}
+	r.Table.Notes = "I/O-bound work flips from m1.small (loose) to c1.xlarge (tight); CPU-bound favors c1.xlarge throughout (best $/ECU)"
+	return r, nil
+}
+
+// E12OptimizerValue reproduces the end-to-end payoff figure: the cost of
+// the optimizer's deployment versus naive defaults, at the deadline the
+// naive deployment achieves.
+func (s *Suite) E12OptimizerValue() (*Result, error) {
+	r := newResult("E12", "Optimizer vs naive deployments (cost at equal deadline)",
+		"workload", "naive", "naive s", "naive $", "optimized", "opt pred s", "opt $", "saving")
+	for _, w := range []workloads.Workload{
+		workloads.GNMF(40000, 20000, 10, 1, 0.02),
+		workloads.RSVD(65536, 16384, 256, 1),
+		workloads.Regression(500000, 1000, 1, 1e-6),
+	} {
+		cfg := plan.Config{TileSize: tileSize, Densities: w.Densities}
+		// Naive: a mid-size default cluster with heuristic splits.
+		naiveCl := s.cluster(cmpType, 16, cmpSlots)
+		res, err := s.Sess.Run(w.Prog, cfg, core.ExecOptions{Cluster: naiveCl})
+		if err != nil {
+			return nil, err
+		}
+		naiveSecs := res.Metrics.TotalSeconds
+		naiveCost := res.CostDollars
+
+		req := s.optRequest(w, 32)
+		req.DeadlineSec = naiveSecs
+		best, err := s.Sess.Optimizer().MinCostForDeadline(req)
+		if err != nil {
+			return nil, err
+		}
+		if !best.Met {
+			return nil, fmt.Errorf("bench: optimizer cannot match naive time for %s", w.Name)
+		}
+		saving := naiveCost / best.Best.Cost
+		r.Table.AddRow(w.Name, naiveCl.String(), f1(naiveSecs), f2(naiveCost),
+			best.Best.Cluster.String(), f1(best.Best.PredSeconds), f2(best.Best.Cost), f2(saving))
+		r.Checks["saving:"+w.Name] = saving
+	}
+	r.Table.Notes = "saving = naive cost / optimized cost at the same deadline (>= 1 expected)"
+	return r, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

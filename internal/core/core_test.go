@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"cumulon/internal/core"
+	"testing"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/opt"
+	"cumulon/internal/plan"
+	"cumulon/internal/workloads"
+)
+
+func cluster(t *testing.T, name string, nodes, slots int) cloud.Cluster {
+	t.Helper()
+	mt, err := cloud.TypeByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, nodes, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestSessionRunMaterialized(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.GNMF(24, 18, 3, 1, 0.4)
+	data := wl.RandomInputs(3)
+	res, err := s.Run(wl.Prog, plan.Config{TileSize: 4, Densities: wl.Densities},
+		core.ExecOptions{Cluster: cluster(t, "m1.large", 4, 2), Inputs: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lang.Interpret(wl.Prog, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"W", "H"} {
+		if !res.Outputs[name].AlmostEqual(want[name], 1e-8) {
+			t.Fatalf("%s mismatch (maxdiff %g)", name, res.Outputs[name].MaxAbsDiff(want[name]))
+		}
+	}
+	if res.CostDollars <= 0 {
+		t.Fatalf("cost: %v", res.CostDollars)
+	}
+}
+
+func TestSessionRunVirtual(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.RSVD(32768, 16384, 128, 1)
+	res, err := s.Run(wl.Prog, plan.Config{TileSize: 2048},
+		core.ExecOptions{Cluster: cluster(t, "c1.medium", 8, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs != nil {
+		t.Fatal("virtual run should not fetch outputs")
+	}
+	if res.Metrics.TotalSeconds <= 0 || len(res.Metrics.Jobs) == 0 {
+		t.Fatalf("metrics: %+v", res.Metrics)
+	}
+}
+
+func TestSessionCompileString(t *testing.T) {
+	s := core.NewSession(1)
+	pl, err := s.CompileString("input A 8 8\nB = A .* A\noutput B", plan.Config{TileSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Jobs) != 1 {
+		t.Fatalf("jobs: %d", len(pl.Jobs))
+	}
+	if _, err := s.CompileString("input A x", plan.Config{TileSize: 4}); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestSessionOptimizeAndRunDeployment(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.MatMul(16384, 16384, 16384)
+	cfg := plan.Config{TileSize: 2048}
+	res, err := s.Optimizer().MinCostForDeadline(opt.Request{
+		Program:     wl.Prog,
+		PlanCfg:     cfg,
+		DeadlineSec: 8 * 3600,
+		Machines:    []cloud.MachineType{mustType(t, "m1.large"), mustType(t, "c1.xlarge")},
+		MaxNodes:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatalf("deadline not met: %v", res.Best)
+	}
+	run, err := s.RunDeployment(wl.Prog, cfg, res.Best, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine's actual time should be near the optimizer's prediction.
+	rel := run.Metrics.TotalSeconds / res.Best.PredSeconds
+	if rel < 0.6 || rel > 1.6 {
+		t.Fatalf("actual %.0fs far from predicted %.0fs", run.Metrics.TotalSeconds, res.Best.PredSeconds)
+	}
+}
+
+func TestSessionMissingInput(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.MatMul(8, 8, 8)
+	_, err := s.Run(wl.Prog, plan.Config{TileSize: 4},
+		core.ExecOptions{Cluster: cluster(t, "m1.small", 2, 1),
+			Inputs: map[string]*linalg.Dense{"A": linalg.NewDense(8, 8)}})
+	if err == nil {
+		t.Fatal("want missing-input error")
+	}
+}
+
+func TestRunDeploymentNil(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.MatMul(8, 8, 8)
+	if _, err := s.RunDeployment(wl.Prog, plan.Config{TileSize: 4}, nil, core.ExecOptions{}); err == nil {
+		t.Fatal("want nil-deployment error")
+	}
+}
+
+func mustType(t *testing.T, name string) cloud.MachineType {
+	t.Helper()
+	mt, err := cloud.TypeByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+func TestSessionCompileAndOptimizeBudget(t *testing.T) {
+	s := core.NewSession(1)
+	wl := workloads.MatMul(16384, 16384, 16384)
+	cfg := plan.Config{TileSize: 2048}
+	pl, err := s.Compile(wl.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Jobs) != 1 {
+		t.Fatalf("jobs: %d", len(pl.Jobs))
+	}
+	res, err := s.OptimizeBudget(wl.Prog, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.Best.Cost > 50 {
+		t.Fatalf("budget result: %+v", res.Best)
+	}
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+// Example demonstrates the whole API surface: write a program, compile
+// it, run it on a simulated cluster with real data, and read the output.
+func Example() {
+	sess := core.NewSession(7)
+	prog, err := sess.CompileString(`
+program demo
+input A 6 4
+input B 4 3
+C = A * B
+output C
+`, plan.Config{TileSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d job(s)\n", len(prog.Jobs))
+
+	mt, _ := cloud.TypeByName("m1.large")
+	cl, _ := cloud.NewCluster(mt, 2, 2)
+	a := linalg.ConstDense(6, 4, 1)
+	b := linalg.ConstDense(4, 3, 2)
+	res, err := sess.Run(prog.Program, plan.Config{TileSize: 2}, core.ExecOptions{
+		Cluster: cl,
+		Inputs:  map[string]*linalg.Dense{"A": a, "B": b},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every entry of C is 4 * (1*2) = 8.
+	fmt.Printf("C[0,0] = %g\n", res.Outputs["C"].At(0, 0))
+	// Output:
+	// compiled 1 job(s)
+	// C[0,0] = 8
+}
+
+// ExampleSession_OptimizeDeadline shows deployment optimization: the
+// session picks machine type, cluster size, slots and splits for a
+// deadline, and the chosen deployment can be executed as-is.
+func ExampleSession_OptimizeDeadline() {
+	sess := core.NewSession(7)
+	prog, err := sess.CompileString(`
+input A 16384 16384
+input B 16384 16384
+C = A * B
+output C
+`, plan.Config{TileSize: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.OptimizeDeadline(prog.Program, plan.Config{TileSize: 2048}, 8*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("met deadline: %v\n", res.Met)
+	fmt.Printf("candidates evaluated: %v\n", len(res.Candidates) > 100)
+	// Output:
+	// met deadline: true
+	// candidates evaluated: true
+}

@@ -1,0 +1,568 @@
+// Package dfs implements a simulated distributed file system in the spirit
+// of HDFS, the storage substrate Cumulon runs on. It reproduces the
+// properties the Cumulon engine and optimizer depend on:
+//
+//   - files split into blocks, each block replicated on several datanodes;
+//   - write-local-first placement, with remaining replicas spread across
+//     the cluster;
+//   - locality-aware reads: a reader on a node holding a replica reads
+//     locally, otherwise remotely (the distinction drives both scheduling
+//     and the I/O cost model);
+//   - byte-level accounting of local vs. remote traffic per node;
+//   - datanode failure with re-replication, so that the engines' retry
+//     paths can be exercised.
+//
+// Data is held in memory: the simulation is about placement, locality and
+// accounting, not about durability of real disks.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Common errors returned by the file system.
+var (
+	ErrNotFound    = errors.New("dfs: file not found")
+	ErrExists      = errors.New("dfs: file already exists")
+	ErrUnavailable = errors.New("dfs: all replicas unavailable")
+	ErrDeadNode    = errors.New("dfs: node is dead")
+	ErrVirtual     = errors.New("dfs: virtual file has no content")
+)
+
+// Config controls file system geometry.
+type Config struct {
+	Nodes       int   // number of datanodes
+	Replication int   // replicas per block (HDFS default 3)
+	BlockSize   int64 // block size in bytes (HDFS-like, default 64 MiB)
+	Seed        int64 // seed for placement randomness
+	// RackSize groups nodes into racks of this many nodes (node n lives
+	// in rack n/RackSize). Zero means a single rack. With racks
+	// configured, replica placement follows the HDFS policy — first
+	// replica on the writer, second on a different rack, third on the
+	// second's rack — and reads distinguish node-local, rack-local and
+	// cross-rack traffic.
+	RackSize int
+}
+
+// DefaultConfig mirrors a small 2013-era Hadoop deployment.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, Replication: 3, BlockSize: 64 << 20, Seed: 1}
+}
+
+type block struct {
+	data     []byte // nil for virtual blocks
+	size     int64
+	replicas []int // datanode ids holding this block
+}
+
+type file struct {
+	blocks  []*block
+	size    int64
+	virtual bool
+}
+
+// IOStats aggregates byte counters; one instance exists per node plus one
+// cluster-wide total. The three read classes are disjoint: node-local,
+// rack-local (non-local, same rack) and remote (cross-rack).
+type IOStats struct {
+	LocalReadBytes     int64
+	RackLocalReadBytes int64
+	RemoteReadBytes    int64
+	WrittenBytes       int64 // bytes of primary (first-replica) writes
+	ReplicationBytes   int64 // bytes of extra replica traffic
+}
+
+// FS is the simulated distributed file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	files map[string]*file
+	dead  map[int]bool
+	stats []IOStats // per node
+	total IOStats
+}
+
+// New creates a file system with the given configuration. Replication is
+// clamped to the node count.
+func New(cfg Config) *FS {
+	if cfg.Nodes <= 0 {
+		panic("dfs: need at least one node")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > cfg.Nodes {
+		cfg.Replication = cfg.Nodes
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 64 << 20
+	}
+	return &FS{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		files: make(map[string]*file),
+		dead:  make(map[int]bool),
+		stats: make([]IOStats, cfg.Nodes),
+	}
+}
+
+// Nodes returns the number of datanodes (live or dead).
+func (fs *FS) Nodes() int { return fs.cfg.Nodes }
+
+// RackOf returns the rack id of a node (0 for single-rack clusters and
+// external clients).
+func (fs *FS) RackOf(node int) int {
+	if fs.cfg.RackSize <= 0 || node < 0 {
+		return 0
+	}
+	return node / fs.cfg.RackSize
+}
+
+// Racks returns the number of racks in the cluster.
+func (fs *FS) Racks() int {
+	if fs.cfg.RackSize <= 0 {
+		return 1
+	}
+	return (fs.cfg.Nodes + fs.cfg.RackSize - 1) / fs.cfg.RackSize
+}
+
+// Replication returns the configured replication factor.
+func (fs *FS) Replication() int { return fs.cfg.Replication }
+
+// Write stores data under path, placing the first replica on writerNode
+// (HDFS write-local-first) and the remaining replicas on random distinct
+// live nodes. writerNode < 0 means an external client: all replicas are
+// placed randomly.
+func (fs *FS) Write(path string, data []byte, writerNode int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if writerNode >= 0 && fs.dead[writerNode] {
+		return fmt.Errorf("%w: %d", ErrDeadNode, writerNode)
+	}
+	f := &file{size: int64(len(data))}
+	for off := int64(0); off == 0 || off < int64(len(data)); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := append([]byte(nil), data[off:end]...)
+		b := &block{data: chunk, size: int64(len(chunk)), replicas: fs.placeReplicas(writerNode)}
+		f.blocks = append(f.blocks, b)
+		fs.accountWrite(b)
+	}
+	fs.files[path] = f
+	return nil
+}
+
+// WriteVirtual stores a metadata-only file of the given size: replica
+// placement, locality, accounting and failure behaviour are identical to a
+// real file, but no payload is kept. Paper-scale experiments use virtual
+// matrices so that a 100k x 100k product can be *scheduled and timed*
+// exactly without computing 10^15 flops for real; correctness of the same
+// code paths is established separately on materialized data.
+func (fs *FS) WriteVirtual(path string, size int64, writerNode int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if writerNode >= 0 && fs.dead[writerNode] {
+		return fmt.Errorf("%w: %d", ErrDeadNode, writerNode)
+	}
+	if size < 0 {
+		return fmt.Errorf("dfs: negative size %d for %s", size, path)
+	}
+	f := &file{size: size, virtual: true}
+	for off := int64(0); off == 0 || off < size; off += fs.cfg.BlockSize {
+		bs := fs.cfg.BlockSize
+		if off+bs > size {
+			bs = size - off
+		}
+		b := &block{size: bs, replicas: fs.placeReplicas(writerNode)}
+		f.blocks = append(f.blocks, b)
+		fs.accountWrite(b)
+	}
+	fs.files[path] = f
+	return nil
+}
+
+func (fs *FS) accountWrite(b *block) {
+	primary := b.replicas[0]
+	fs.stats[primary].WrittenBytes += b.size
+	fs.total.WrittenBytes += b.size
+	for _, r := range b.replicas[1:] {
+		fs.stats[r].ReplicationBytes += b.size
+		fs.total.ReplicationBytes += b.size
+	}
+}
+
+// ReadSplit classifies the bytes of a read by distance from the reader:
+// served from the reader's own node, from another node in the reader's
+// rack, or across racks. The three classes are disjoint; in single-rack
+// clusters every non-local byte is Remote.
+type ReadSplit struct {
+	Local     int64
+	RackLocal int64
+	Remote    int64
+}
+
+// Total returns the total bytes of the read.
+func (r ReadSplit) Total() int64 { return r.Local + r.RackLocal + r.Remote }
+
+// classify determines the read class of a block for readerNode and
+// accounts it; caller holds the lock.
+func (fs *FS) classify(b *block, live []int, readerNode int, sp *ReadSplit) {
+	for _, r := range live {
+		if r == readerNode {
+			sp.Local += b.size
+			fs.stats[readerNode].LocalReadBytes += b.size
+			fs.total.LocalReadBytes += b.size
+			return
+		}
+	}
+	if fs.cfg.RackSize > 0 && readerNode >= 0 {
+		rack := fs.RackOf(readerNode)
+		for _, r := range live {
+			if fs.RackOf(r) == rack {
+				sp.RackLocal += b.size
+				fs.stats[readerNode].RackLocalReadBytes += b.size
+				fs.total.RackLocalReadBytes += b.size
+				return
+			}
+		}
+	}
+	sp.Remote += b.size
+	if readerNode >= 0 {
+		fs.stats[readerNode].RemoteReadBytes += b.size
+	}
+	fs.total.RemoteReadBytes += b.size
+}
+
+// ReadAccount performs the placement, locality and byte accounting of a
+// read without returning content, and reports how the bytes split by
+// distance from readerNode. It works for both real and virtual files and
+// is the read path the engines use for timing.
+func (fs *FS) ReadAccount(path string, readerNode int) (ReadSplit, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var sp ReadSplit
+	f, ok := fs.files[path]
+	if !ok {
+		return sp, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if readerNode >= 0 && fs.dead[readerNode] {
+		return sp, fmt.Errorf("%w: %d", ErrDeadNode, readerNode)
+	}
+	for _, b := range f.blocks {
+		live := fs.liveReplicas(b)
+		if len(live) == 0 {
+			return sp, fmt.Errorf("%w: %s", ErrUnavailable, path)
+		}
+		fs.classify(b, live, readerNode, &sp)
+	}
+	return sp, nil
+}
+
+// placeReplicas picks replica nodes following the HDFS policy: the first
+// replica on the writer when possible; with racks configured, the second
+// replica on a different rack than the first and the third on the same
+// rack as the second; remaining replicas (and all replicas in single-rack
+// clusters) are placed uniformly at random among unused live nodes.
+func (fs *FS) placeReplicas(writerNode int) []int {
+	live := fs.liveNodesLocked()
+	if len(live) == 0 {
+		panic("dfs: no live nodes")
+	}
+	want := fs.cfg.Replication
+	if want > len(live) {
+		want = len(live)
+	}
+	used := map[int]bool{}
+	replicas := make([]int, 0, want)
+	add := func(n int) {
+		replicas = append(replicas, n)
+		used[n] = true
+	}
+	if writerNode >= 0 && !fs.dead[writerNode] {
+		add(writerNode)
+	}
+	cands := make([]int, 0, len(live))
+	for _, n := range live {
+		if !used[n] {
+			cands = append(cands, n)
+		}
+	}
+	fs.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	pick := func(pred func(n int) bool) bool {
+		for _, n := range cands {
+			if !used[n] && pred(n) {
+				add(n)
+				return true
+			}
+		}
+		return false
+	}
+	if fs.cfg.RackSize > 0 && len(replicas) > 0 {
+		firstRack := fs.RackOf(replicas[0])
+		if len(replicas) < want {
+			// Second replica off-rack (fall back to any node).
+			if !pick(func(n int) bool { return fs.RackOf(n) != firstRack }) {
+				pick(func(int) bool { return true })
+			}
+		}
+		if len(replicas) >= 2 && len(replicas) < want {
+			// Third replica on the second replica's rack.
+			secondRack := fs.RackOf(replicas[1])
+			if !pick(func(n int) bool { return fs.RackOf(n) == secondRack }) {
+				pick(func(int) bool { return true })
+			}
+		}
+	}
+	for len(replicas) < want {
+		if !pick(func(int) bool { return true }) {
+			break
+		}
+	}
+	return replicas
+}
+
+// Read returns the file contents as seen by readerNode, recording read
+// bytes per block by distance class. readerNode < 0 means an external
+// client (all reads count as remote, attributed to the cluster total
+// only).
+func (fs *FS) Read(path string, readerNode int) ([]byte, error) {
+	data, _, err := fs.ReadTracked(path, readerNode)
+	return data, err
+}
+
+// ReadTracked is Read plus a report of how the returned bytes split by
+// distance from the reader.
+func (fs *FS) ReadTracked(path string, readerNode int) ([]byte, ReadSplit, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var sp ReadSplit
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, sp, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if f.virtual {
+		return nil, sp, fmt.Errorf("%w: %s", ErrVirtual, path)
+	}
+	if readerNode >= 0 && fs.dead[readerNode] {
+		return nil, sp, fmt.Errorf("%w: %d", ErrDeadNode, readerNode)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		live := fs.liveReplicas(b)
+		if len(live) == 0 {
+			return nil, sp, fmt.Errorf("%w: %s", ErrUnavailable, path)
+		}
+		fs.classify(b, live, readerNode, &sp)
+		out = append(out, b.data...)
+	}
+	return out, sp, nil
+}
+
+// Locality reports whether readerNode holds a local replica of every block
+// of path. The scheduler uses this to prefer node-local tasks.
+func (fs *FS) Locality(path string, readerNode int) (bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	for _, b := range f.blocks {
+		found := false
+		for _, r := range fs.liveReplicas(b) {
+			if r == readerNode {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ReplicaNodes returns the set of live nodes that hold at least one block
+// replica of the file, in ascending order.
+func (fs *FS) ReplicaNodes(path string) ([]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	set := map[int]bool{}
+	for _, b := range f.blocks {
+		for _, r := range fs.liveReplicas(b) {
+			set[r] = true
+		}
+	}
+	nodes := make([]int, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes, nil
+}
+
+// Exists reports whether path is present.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the byte size of the file.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return f.size, nil
+}
+
+// Delete removes a file. Deleting a missing file is not an error, matching
+// the idempotent delete semantics engines rely on during retries.
+func (fs *FS) Delete(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}
+
+// List returns all paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KillNode marks a datanode dead and re-replicates every block that lost a
+// replica, using the remaining live copies as sources (namenode-driven
+// recovery, as in HDFS). Blocks whose every replica was on dead nodes
+// become unavailable.
+func (fs *FS) KillNode(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if node < 0 || node >= fs.cfg.Nodes || fs.dead[node] {
+		return
+	}
+	fs.dead[node] = true
+	for _, f := range fs.files {
+		for _, b := range f.blocks {
+			live := fs.liveReplicas(b)
+			if len(live) == 0 || len(live) >= fs.cfg.Replication {
+				continue
+			}
+			// Re-replicate onto live nodes not already holding the block.
+			have := map[int]bool{}
+			for _, r := range live {
+				have[r] = true
+			}
+			for _, n := range fs.liveNodesLocked() {
+				if len(live) >= fs.cfg.Replication {
+					break
+				}
+				if have[n] {
+					continue
+				}
+				live = append(live, n)
+				have[n] = true
+				fs.stats[n].ReplicationBytes += b.size
+				fs.total.ReplicationBytes += b.size
+			}
+			b.replicas = live
+		}
+	}
+}
+
+// NodeAlive reports whether the datanode is live.
+func (fs *FS) NodeAlive(node int) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return node >= 0 && node < fs.cfg.Nodes && !fs.dead[node]
+}
+
+// Stats returns the per-node counters for node, or the cluster-wide total
+// for node < 0.
+func (fs *FS) Stats(node int) IOStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if node < 0 {
+		return fs.total
+	}
+	return fs.stats[node]
+}
+
+// ResetStats zeroes all I/O counters, keeping file contents. Experiments
+// use this between measurement phases.
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range fs.stats {
+		fs.stats[i] = IOStats{}
+	}
+	fs.total = IOStats{}
+}
+
+// FileCount returns the number of stored files.
+func (fs *FS) FileCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files)
+}
+
+// TotalBytes returns the sum of logical file sizes (not counting replicas).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, f := range fs.files {
+		n += f.size
+	}
+	return n
+}
+
+func (fs *FS) liveReplicas(b *block) []int {
+	var out []int
+	for _, r := range b.replicas {
+		if !fs.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (fs *FS) liveNodesLocked() []int {
+	var out []int
+	for n := 0; n < fs.cfg.Nodes; n++ {
+		if !fs.dead[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,428 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(DefaultConfig(4))
+	data := []byte("hello, cumulon")
+	if err := fs.Write("/a", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read mismatch: %q", got)
+	}
+	sz, err := fs.Size("/a")
+	if err != nil || sz != int64(len(data)) {
+		t.Fatalf("size %d err %v", sz, err)
+	}
+}
+
+func TestWriteLocalFirstPlacement(t *testing.T) {
+	fs := New(DefaultConfig(8))
+	if err := fs.Write("/a", []byte("x"), 5); err != nil {
+		t.Fatal(err)
+	}
+	local, err := fs.Locality("/a", 5)
+	if err != nil || !local {
+		t.Fatalf("writer node must hold a replica: local=%v err=%v", local, err)
+	}
+	nodes, err := fs.ReplicaNodes("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("want 3 replicas, got %v", nodes)
+	}
+}
+
+func TestReplicationClampedToClusterSize(t *testing.T) {
+	fs := New(Config{Nodes: 2, Replication: 3, Seed: 1})
+	if fs.Replication() != 2 {
+		t.Fatalf("replication should clamp to 2, got %d", fs.Replication())
+	}
+	if err := fs.Write("/a", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ := fs.ReplicaNodes("/a")
+	if len(nodes) != 2 {
+		t.Fatalf("want 2 replicas, got %v", nodes)
+	}
+}
+
+func TestLocalVsRemoteAccounting(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 1, Seed: 1})
+	data := make([]byte, 1000)
+	if err := fs.Write("/a", data, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats(2).LocalReadBytes; got != 1000 {
+		t.Fatalf("local read bytes: %d", got)
+	}
+	if _, err := fs.Read("/a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats(3).RemoteReadBytes; got != 1000 {
+		t.Fatalf("remote read bytes: %d", got)
+	}
+	tot := fs.Stats(-1)
+	if tot.LocalReadBytes != 1000 || tot.RemoteReadBytes != 1000 {
+		t.Fatalf("totals: %+v", tot)
+	}
+}
+
+func TestDuplicateWriteFails(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if err := fs.Write("/a", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/a", []byte("y"), 0); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if _, err := fs.Read("/nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if err := fs.Write("/a", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.Delete("/a")
+	fs.Delete("/a")
+	if fs.Exists("/a") {
+		t.Fatal("file still exists after delete")
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	for _, p := range []string{"/m/1", "/m/2", "/n/1"} {
+		if err := fs.Write(p, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("/m/")
+	if len(got) != 2 || got[0] != "/m/1" || got[1] != "/m/2" {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestKillNodeReReplicates(t *testing.T) {
+	fs := New(Config{Nodes: 5, Replication: 2, Seed: 3})
+	if err := fs.Write("/a", []byte("payload"), 1); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := fs.ReplicaNodes("/a")
+	fs.KillNode(before[0])
+	after, err := fs.ReplicaNodes("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 2 {
+		t.Fatalf("want 2 live replicas after recovery, got %v", after)
+	}
+	for _, n := range after {
+		if n == before[0] {
+			t.Fatal("dead node still listed as replica")
+		}
+	}
+	if _, err := fs.Read("/a", 4); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestAllReplicasDeadUnavailable(t *testing.T) {
+	fs := New(Config{Nodes: 3, Replication: 1, Seed: 1})
+	if err := fs.Write("/a", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ := fs.ReplicaNodes("/a")
+	// Kill every node so re-replication has no live target.
+	for n := 0; n < 3; n++ {
+		_ = nodes
+		fs.KillNode(n)
+	}
+	if fs.NodeAlive(0) {
+		t.Fatal("node 0 should be dead")
+	}
+	// Reading from any node fails: reader nodes themselves are dead, and
+	// an external client sees no live replicas.
+	if _, err := fs.Read("/a", -1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestDeadWriterRejected(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	fs.KillNode(1)
+	if err := fs.Write("/a", []byte("x"), 1); !errors.Is(err, ErrDeadNode) {
+		t.Fatalf("want ErrDeadNode, got %v", err)
+	}
+	if err := fs.Write("/b", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBlockFiles(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 2, BlockSize: 10, Seed: 7})
+	data := make([]byte, 35)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.Write("/big", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/big", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if err := fs.Write("/empty", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/empty", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read %d bytes", len(got))
+	}
+}
+
+// Property: whatever is written is read back identically, from any node.
+func TestRoundTripProperty(t *testing.T) {
+	fs := New(DefaultConfig(6))
+	i := 0
+	f := func(data []byte, reader uint8) bool {
+		i++
+		path := fmt.Sprintf("/p/%d", i)
+		if err := fs.Write(path, data, int(reader)%6); err != nil {
+			return false
+		}
+		got, err := fs.Read(path, (int(reader)+1)%6)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New(DefaultConfig(8))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20; i++ {
+				p := fmt.Sprintf("/c/%d/%d", g, i)
+				data := make([]byte, rng.Intn(100)+1)
+				if err := fs.Write(p, data, g); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := fs.Read(p, (g+i)%8); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if fs.FileCount() != 160 {
+		t.Fatalf("file count: %d", fs.FileCount())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if err := fs.Write("/a", make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	tot := fs.Stats(-1)
+	if tot.WrittenBytes != 0 || tot.ReplicationBytes != 0 {
+		t.Fatalf("stats not reset: %+v", tot)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := New(DefaultConfig(3))
+	if err := fs.Write("/a", make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/b", make([]byte, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalBytes() != 150 {
+		t.Fatalf("total bytes: %d", fs.TotalBytes())
+	}
+}
+
+func TestVirtualFiles(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 2, BlockSize: 100, Seed: 1})
+	if err := fs.WriteVirtual("/v", 250, 1); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := fs.Size("/v")
+	if err != nil || sz != 250 {
+		t.Fatalf("size %d err %v", sz, err)
+	}
+	if _, err := fs.Read("/v", 0); !errors.Is(err, ErrVirtual) {
+		t.Fatalf("want ErrVirtual, got %v", err)
+	}
+	sp, err := fs.ReadAccount("/v", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Total() != 250 {
+		t.Fatalf("accounted %d bytes", sp.Total())
+	}
+	// Writer-local placement means node 1 holds every block.
+	if sp.Local != 250 {
+		t.Fatalf("writer node should read locally: %+v", sp)
+	}
+	if _, err := fs.ReadAccount("/missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestReadAccountOnRealFiles(t *testing.T) {
+	fs := New(Config{Nodes: 3, Replication: 1, Seed: 2})
+	if err := fs.Write("/r", make([]byte, 500), 0); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := fs.ReadAccount("/r", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Remote != 500 {
+		t.Fatalf("remote bytes: %+v", sp)
+	}
+}
+
+func TestVirtualKillNodeReReplicates(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 2, Seed: 5})
+	if err := fs.WriteVirtual("/v", 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.KillNode(0)
+	nodes, err := fs.ReplicaNodes("/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("replicas after recovery: %v", nodes)
+	}
+	if _, err := fs.ReadAccount("/v", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRackTopology(t *testing.T) {
+	fs := New(Config{Nodes: 8, Replication: 3, RackSize: 4, Seed: 1})
+	if fs.Racks() != 2 {
+		t.Fatalf("racks: %d", fs.Racks())
+	}
+	if fs.RackOf(3) != 0 || fs.RackOf(4) != 1 || fs.RackOf(-1) != 0 {
+		t.Fatal("rack assignment wrong")
+	}
+	single := New(Config{Nodes: 4, Replication: 2, Seed: 1})
+	if single.Racks() != 1 || single.RackOf(3) != 0 {
+		t.Fatal("single-rack cluster misconfigured")
+	}
+}
+
+func TestRackAwarePlacement(t *testing.T) {
+	fs := New(Config{Nodes: 8, Replication: 3, RackSize: 4, Seed: 2})
+	// HDFS policy: replica 1 on the writer, replica 2 on another rack,
+	// replica 3 on replica 2's rack. Check over many files.
+	for i := 0; i < 50; i++ {
+		path := fmt.Sprintf("/r/%d", i)
+		if err := fs.WriteVirtual(path, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+		nodes, err := fs.ReplicaNodes(path)
+		if err != nil || len(nodes) != 3 {
+			t.Fatalf("replicas: %v err %v", nodes, err)
+		}
+		racks := map[int]int{}
+		for _, n := range nodes {
+			racks[fs.RackOf(n)]++
+		}
+		if len(racks) != 2 {
+			t.Fatalf("file %d: replicas span %d racks (want exactly 2): %v", i, len(racks), nodes)
+		}
+	}
+}
+
+func TestRackLocalReadClassification(t *testing.T) {
+	fs := New(Config{Nodes: 8, Replication: 1, RackSize: 4, Seed: 3})
+	if err := fs.WriteVirtual("/a", 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 holds the only replica: node 0 reads locally, node 1 (same
+	// rack) rack-locally, node 5 (other rack) remotely.
+	sp, err := fs.ReadAccount("/a", 0)
+	if err != nil || sp.Local != 1000 {
+		t.Fatalf("node 0: %+v err %v", sp, err)
+	}
+	sp, err = fs.ReadAccount("/a", 1)
+	if err != nil || sp.RackLocal != 1000 || sp.Remote != 0 {
+		t.Fatalf("node 1: %+v err %v", sp, err)
+	}
+	sp, err = fs.ReadAccount("/a", 5)
+	if err != nil || sp.Remote != 1000 || sp.RackLocal != 0 {
+		t.Fatalf("node 5: %+v err %v", sp, err)
+	}
+	st := fs.Stats(1)
+	if st.RackLocalReadBytes != 1000 {
+		t.Fatalf("rack-local stats: %+v", st)
+	}
+}
+
+func TestSingleRackHasNoRackLocalReads(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 1, Seed: 4})
+	if err := fs.WriteVirtual("/a", 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := fs.ReadAccount("/a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.RackLocal != 0 || sp.Remote != 100 {
+		t.Fatalf("single-rack split: %+v", sp)
+	}
+}

@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"testing"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/lang"
+	"cumulon/internal/plan"
+)
+
+// BenchmarkVirtualMatMulRun measures the engine's scheduling throughput:
+// one full virtual execution of a 256-task matrix multiply.
+func BenchmarkVirtualMatMulRun(b *testing.B) {
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, 16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lang.Parse(`
+input A 32768 32768
+input B 32768 32768
+C = A * B
+output C
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.AutoSplit(cl.TotalSlots())
+		e, err := New(Config{Cluster: cl, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range pl.Inputs {
+			if err := e.LoadVirtual(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := e.Run(pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"cumulon/internal/linalg"
+)
+
+// nodeCache is a per-node LRU tile cache: once a task on a node has read
+// a tile, later tasks on the same node read it from memory instead of the
+// DFS (Cumulon's memory-caching configuration setting). The engine runs
+// tasks sequentially in virtual time, so no locking is needed, and the
+// LRU order — hence timing — is deterministic.
+type nodeCache struct {
+	capacity int64
+	used     int64
+	entries  map[string]*cacheEntry
+	// LRU list, most recent at the tail.
+	head, tail *cacheEntry
+}
+
+type cacheEntry struct {
+	path       string
+	size       int64
+	dense      *linalg.Tile
+	sparse     *linalg.CSRTile
+	prev, next *cacheEntry
+}
+
+func newNodeCache(capacity int64) *nodeCache {
+	return &nodeCache{capacity: capacity, entries: map[string]*cacheEntry{}}
+}
+
+func (c *nodeCache) get(path string) (*cacheEntry, bool) {
+	e, ok := c.entries[path]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushTail(e)
+	return e, true
+}
+
+func (c *nodeCache) put(path string, size int64, dense *linalg.Tile, sparse *linalg.CSRTile) {
+	if size > c.capacity {
+		return
+	}
+	if old, ok := c.entries[path]; ok {
+		c.unlink(old)
+		c.used -= old.size
+		delete(c.entries, path)
+	}
+	for c.used+size > c.capacity && c.head != nil {
+		evict := c.head
+		c.unlink(evict)
+		c.used -= evict.size
+		delete(c.entries, evict.path)
+	}
+	e := &cacheEntry{path: path, size: size, dense: dense, sparse: sparse}
+	c.entries[path] = e
+	c.pushTail(e)
+	c.used += size
+}
+
+func (c *nodeCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *nodeCache) pushTail(e *cacheEntry) {
+	e.prev = c.tail
+	e.next = nil
+	if c.tail != nil {
+		c.tail.next = e
+	}
+	c.tail = e
+	if c.head == nil {
+		c.head = e
+	}
+}
+
+// resetCaches builds fresh per-node caches for a run.
+func (e *Engine) resetCaches() {
+	if e.cfg.CacheFraction <= 0 {
+		e.caches = nil
+		return
+	}
+	capacity := int64(e.cfg.Cluster.Type.MemoryGB * 1e9 * e.cfg.CacheFraction)
+	e.caches = make([]*nodeCache, e.cfg.Cluster.Nodes)
+	for i := range e.caches {
+		e.caches[i] = newNodeCache(capacity)
+	}
+}
+
+// cacheFor returns the node's cache, or nil when caching is disabled.
+func (e *Engine) cacheFor(node int) *nodeCache {
+	if e.caches == nil || node < 0 || node >= len(e.caches) {
+		return nil
+	}
+	return e.caches[node]
+}

@@ -1,0 +1,477 @@
+// Package exec is Cumulon's execution engine: it runs physical plans
+// (package plan) on a provisioned cluster (package cloud) over the
+// distributed file system (package dfs).
+//
+// Time is virtual. The engine is a deterministic discrete-event simulation
+// of a slot-based cluster — the scheduling, data placement, locality, and
+// per-task durations all follow the calibrated hardware profile of the
+// chosen machine type — while the tile mathematics is (optionally)
+// computed for real, in process, so results can be checked against the
+// reference interpreter. With Materialize off, the same code paths run at
+// paper scale: every read, write and task is still placed, accounted and
+// timed, only the float arrays are elided.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/dfs"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+	"cumulon/internal/store"
+)
+
+// Config configures an engine instance.
+type Config struct {
+	Cluster cloud.Cluster
+	// Replication is the DFS replication factor (default 3).
+	Replication int
+	// Materialize selects real tile computation. Off, tiles are virtual:
+	// placement, accounting and timing are identical but no payloads move.
+	Materialize bool
+	// Seed drives the deterministic noise and placement randomness.
+	Seed int64
+	// NoiseFactor scales multiplicative task-duration noise (stragglers,
+	// JVM jitter). 0 disables. Typical: 0.08.
+	NoiseFactor float64
+	// JobStartupSec is the fixed per-job overhead (job setup, scheduling
+	// round trips). Hadoop-era default: 6 s.
+	JobStartupSec float64
+	// FaultInjector, if set, makes a task attempt fail before doing any
+	// work when it returns true; the scheduler retries it once on another
+	// node. Used to exercise the retry machinery deterministically.
+	FaultInjector func(jobID, phase, index, attempt int) bool
+	// RackSize groups datanodes into racks (see dfs.Config.RackSize);
+	// zero means a single rack.
+	RackSize int
+	// CrossRackPenalty multiplies the network cost of cross-rack bytes,
+	// modeling oversubscribed rack uplinks. Defaults to 2 when racks are
+	// configured, 1 otherwise.
+	CrossRackPenalty float64
+	// CacheFraction, when positive, dedicates that fraction of each
+	// node's memory to an LRU tile cache: tiles a node has already read
+	// are served from memory (Cumulon's memory-caching setting). Off by
+	// default.
+	CacheFraction float64
+	// Speculation enables straggler mitigation: when a task's projected
+	// finish time exceeds 1.5x the phase median, a backup attempt is
+	// launched on another free slot and the earlier finisher wins
+	// (Hadoop's speculative execution). Only timing is affected — the
+	// computation is deterministic either way.
+	Speculation bool
+	// OverlapJobs schedules a job as soon as its dependencies finish,
+	// letting independent jobs share the cluster, instead of the
+	// Hadoop-style global barrier between jobs. The optimizer's simulator
+	// assumes barriers, so this is an engine extension (ablated in
+	// experiment E15), off by default.
+	OverlapJobs bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.JobStartupSec == 0 {
+		c.JobStartupSec = 6
+	}
+	if c.CrossRackPenalty == 0 {
+		if c.RackSize > 0 {
+			c.CrossRackPenalty = 2
+		} else {
+			c.CrossRackPenalty = 1
+		}
+	}
+	return c
+}
+
+// Engine executes plans over its own DFS instance.
+type Engine struct {
+	cfg    Config
+	fs     *dfs.FS
+	st     *store.Store
+	rng    *rand.Rand
+	caches []*nodeCache // per-node tile caches (nil when disabled)
+}
+
+// New creates an engine with a fresh DFS sized to the cluster.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cluster.Nodes <= 0 || cfg.Cluster.Slots <= 0 {
+		return nil, fmt.Errorf("exec: invalid cluster %+v", cfg.Cluster)
+	}
+	fs := dfs.New(dfs.Config{
+		Nodes:       cfg.Cluster.Nodes,
+		Replication: cfg.Replication,
+		Seed:        cfg.Seed + 1,
+		RackSize:    cfg.RackSize,
+	})
+	return &Engine{
+		cfg: cfg,
+		fs:  fs,
+		st:  store.New(fs),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// FS exposes the engine's file system (tests use it for failure injection
+// and accounting assertions).
+func (e *Engine) FS() *dfs.FS { return e.fs }
+
+// Store exposes the engine's tile store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// LoadDense ingests a dense in-memory matrix as the given stored matrix
+// (external ingest: replicas placed randomly). Use with Materialize on.
+func (e *Engine) LoadDense(meta store.Meta, d *linalg.Dense) error {
+	return e.st.SaveDense(meta, d, -1)
+}
+
+// FetchOutput downloads a stored matrix into memory (Materialize mode).
+func (e *Engine) FetchOutput(meta store.Meta) (*linalg.Dense, error) {
+	return e.st.LoadDense(meta, -1)
+}
+
+// LoadVirtual registers an input matrix as virtual tiles of estimated
+// sizes (external ingest: replicas placed randomly).
+func (e *Engine) LoadVirtual(meta store.Meta) error {
+	for ti := 0; ti < meta.TileRows(); ti++ {
+		for tj := 0; tj < meta.TileCols(); tj++ {
+			if err := e.fs.WriteVirtual(meta.TilePath(ti, tj), meta.EstTileBytes(ti, tj), -1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the plan's jobs in dependency order on the virtual cluster
+// and returns the complete run metrics. Matrices produced by a previous
+// run of the same plan are overwritten; intermediates are garbage
+// collected at the end.
+func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
+	jobs, err := p.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Overwrite semantics for re-runs; caches cannot carry stale tiles
+	// across runs.
+	for _, j := range jobs {
+		e.st.DeleteMatrix(j.Out)
+	}
+	e.resetCaches()
+	m := &RunMetrics{}
+	slots := e.liveSlots()
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("exec: no live nodes")
+	}
+	jobEnds := map[int]float64{}
+	globalEnd := 0.0
+	for _, j := range jobs {
+		if err := j.Split.Validate(j.ITiles(), j.JTiles(), j.KTiles(), j.Kind); err != nil {
+			return nil, err
+		}
+		// Barrier mode waits for every prior job; overlap mode only for
+		// this job's dependencies.
+		ready := globalEnd
+		if e.cfg.OverlapJobs {
+			ready = 0
+			for _, d := range j.Deps {
+				if jobEnds[d] > ready {
+					ready = jobEnds[d]
+				}
+			}
+		}
+		end, err := e.runJob(j, ready, slots, m)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %s: %w", j, err)
+		}
+		jobEnds[j.ID] = end
+		if end > globalEnd {
+			globalEnd = end
+		}
+	}
+	m.TotalSeconds = globalEnd
+	for _, im := range p.Intermediates() {
+		e.st.DeleteMatrix(im)
+	}
+	return m, nil
+}
+
+// liveSlots builds the slot states of all live nodes.
+func (e *Engine) liveSlots() []*slotState {
+	var slots []*slotState
+	for n := 0; n < e.cfg.Cluster.Nodes; n++ {
+		if !e.fs.NodeAlive(n) {
+			continue
+		}
+		for s := 0; s < e.cfg.Cluster.Slots; s++ {
+			slots = append(slots, &slotState{node: n})
+		}
+	}
+	return slots
+}
+
+// runJob executes one job that may start at virtual time start, on the
+// shared slot pool, and returns the job's end time.
+func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMetrics) (float64, error) {
+	jobStart := start + e.cfg.JobStartupSec
+	phases, cleanup, err := e.buildTasks(j)
+	if err != nil {
+		return 0, err
+	}
+	clock := jobStart
+	nPhases := 0
+	nTasks := 0
+	for phase, tasks := range phases {
+		end, err := e.schedulePhase(j.ID, phase, tasks, clock, slots, m)
+		if err != nil {
+			return 0, err
+		}
+		clock = end
+		nPhases++
+		nTasks += len(tasks)
+	}
+	for _, c := range cleanup {
+		e.st.DeleteMatrix(c)
+	}
+	m.Jobs = append(m.Jobs, JobRecord{
+		JobID:    j.ID,
+		Name:     j.Name,
+		Kind:     j.Kind.String(),
+		Phases:   nPhases,
+		Tasks:    nTasks,
+		StartSec: start,
+		EndSec:   clock,
+	})
+	return clock, nil
+}
+
+// slotState tracks one task slot of the virtual cluster.
+type slotState struct {
+	node   int
+	freeAt float64
+}
+
+// schedulePhase runs one barrier-separated set of tasks with the greedy
+// locality-aware list scheduler: whenever a slot frees, it takes a pending
+// task that prefers its node if one exists, otherwise the oldest pending
+// task. Tasks cannot start before notBefore (the phase's release time).
+// Returns the phase end time.
+func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float64, slots []*slotState, m *RunMetrics) (float64, error) {
+	var placements []specPlacement
+	pending := append([]*task(nil), tasks...)
+	end := notBefore
+	for len(pending) > 0 {
+		// Earliest-available slot; ties broken by slice order for
+		// determinism. Availability accounts for the release time.
+		avail := func(s *slotState) float64 {
+			if s.freeAt < notBefore {
+				return notBefore
+			}
+			return s.freeAt
+		}
+		best := 0
+		for i, s := range slots {
+			if avail(s) < avail(slots[best]) {
+				best = i
+			}
+		}
+		slot := slots[best]
+		if slot.freeAt < notBefore {
+			slot.freeAt = notBefore
+		}
+		// Prefer a node-local task, then a rack-local one.
+		pick := -1
+		rackPick := -1
+		slotRack := e.fs.RackOf(slot.node)
+		for i, t := range pending {
+			if t.prefNode == slot.node {
+				pick = i
+				break
+			}
+			if rackPick < 0 && t.prefNode >= 0 && e.fs.RackOf(t.prefNode) == slotRack {
+				rackPick = i
+			}
+		}
+		if pick < 0 {
+			pick = rackPick
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		t := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+
+		rec, base, err := e.executeWithRetry(jobID, phase, t, slot, best, m)
+		if err != nil {
+			return 0, err
+		}
+		placements = append(placements, specPlacement{taskIdx: len(m.Tasks) - 1, base: base, slot: slot})
+		if rec.StartSec+rec.Seconds > end {
+			end = rec.StartSec + rec.Seconds
+		}
+	}
+	if e.cfg.Speculation && len(placements) > 1 {
+		end = e.speculate(placements, slots, m, end)
+	}
+	return end, nil
+}
+
+// specPlacement records where a task ran and its noise-free duration, for
+// the speculation pass.
+type specPlacement struct {
+	taskIdx int // index into m.Tasks
+	base    float64
+	slot    *slotState
+}
+
+// speculate applies Hadoop-style speculative execution to a finished
+// phase schedule: tasks projected to finish later than 1.5x the median
+// get a backup attempt on the earliest-free other slot, launched once the
+// straggler is detectable (at the median finish time); the earlier
+// finisher wins and the loser is killed. Returns the new phase end.
+func (e *Engine) speculate(placements []specPlacement, slots []*slotState, m *RunMetrics, end float64) float64 {
+	finishes := make([]float64, len(placements))
+	for i, p := range placements {
+		rec := &m.Tasks[p.taskIdx]
+		finishes[i] = rec.StartSec + rec.Seconds
+	}
+	median := medianOf(finishes)
+	threshold := 1.5 * median
+	for i, p := range placements {
+		rec := &m.Tasks[p.taskIdx]
+		finish := finishes[i]
+		if finish <= threshold {
+			continue
+		}
+		// Earliest-free slot on a different node.
+		var backup *slotState
+		for _, s := range slots {
+			if s == p.slot || s.node == rec.Node {
+				continue
+			}
+			if backup == nil || s.freeAt < backup.freeAt {
+				backup = s
+			}
+		}
+		if backup == nil {
+			continue
+		}
+		start := median
+		if backup.freeAt > start {
+			start = backup.freeAt
+		}
+		backupFinish := start + p.base*e.noiseFactor()
+		if backupFinish >= finish {
+			continue
+		}
+		// The backup wins: both slots free at the backup finish (the
+		// original attempt is killed).
+		rec.Seconds = backupFinish - rec.StartSec
+		rec.Node = backup.node
+		backup.freeAt = backupFinish
+		if p.slot.freeAt > backupFinish {
+			p.slot.freeAt = backupFinish
+		}
+		m.SpeculativeTasks++
+		finishes[i] = backupFinish
+	}
+	newEnd := 0.0
+	for _, f := range finishes {
+		if f > newEnd {
+			newEnd = f
+		}
+	}
+	if newEnd > end {
+		return end
+	}
+	return newEnd
+}
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// executeWithRetry runs a task on a slot, retrying once on a different
+// node if the attempt fails (the Hadoop task-retry path). The failed
+// attempt still costs its startup time on the original slot. It returns
+// the record plus the task's noise-free base duration (for speculation).
+func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics) (TaskRecord, float64, error) {
+	attempt := 0
+	node := slot.node
+	startAt := slot.freeAt
+	retries := 0
+	for {
+		injected := e.cfg.FaultInjector != nil && e.cfg.FaultInjector(jobID, phase, t.index, attempt)
+		var w work
+		var err error
+		if injected {
+			err = fmt.Errorf("injected fault")
+		} else {
+			w, err = t.run(node)
+		}
+		if err != nil {
+			if attempt >= 1 {
+				return TaskRecord{}, 0, fmt.Errorf("task %d/%d/%d failed after retry: %w", jobID, phase, t.index, err)
+			}
+			// Charge the failed attempt's startup, then move to another node.
+			startAt += e.cfg.Cluster.Type.StartupSec
+			retries++
+			attempt++
+			node = e.pickOtherNode(node)
+			continue
+		}
+		base := e.baseTaskSeconds(w)
+		dur := base * e.noiseFactor()
+		slot.freeAt = startAt + dur
+		rec := TaskRecord{
+			JobID: jobID, Phase: phase, Index: t.index, Node: node, Slot: slotIdx,
+			Flops:          w.flops,
+			LocalReadBytes: w.localBytes, RackReadBytes: w.rackBytes, RemoteReadBytes: w.remoteBytes,
+			CacheReadBytes: w.cacheBytes,
+			WriteBytes:     w.writeBytes,
+			StartSec:       startAt, Seconds: dur,
+			Retries: retries,
+		}
+		m.addTask(rec)
+		return rec, base, nil
+	}
+}
+
+func (e *Engine) pickOtherNode(not int) int {
+	for n := 0; n < e.cfg.Cluster.Nodes; n++ {
+		if n != not && e.fs.NodeAlive(n) {
+			return n
+		}
+	}
+	return not
+}
+
+// baseTaskSeconds converts a task's work profile into noise-free virtual
+// seconds on the configured machine type.
+func (e *Engine) baseTaskSeconds(w work) float64 {
+	repl := int64(e.cfg.Replication)
+	if n := int64(e.cfg.Cluster.Nodes); repl > n {
+		repl = n
+	}
+	disk := w.localBytes + w.writeBytes
+	net := w.rackBytes + int64(float64(w.remoteBytes)*e.cfg.CrossRackPenalty) +
+		w.writeBytes*(repl-1)
+	return e.cfg.Cluster.Type.TaskSeconds(e.cfg.Cluster.Slots, w.flops, disk, net)
+}
+
+// noiseFactor samples one multiplicative straggler factor (>= 1).
+func (e *Engine) noiseFactor() float64 {
+	if e.cfg.NoiseFactor > 0 {
+		return 1 + e.cfg.NoiseFactor*e.rng.ExpFloat64()
+	}
+	return 1
+}

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// TaskRecord captures one executed task: its work profile, placement and
+// timing. The model-fitting pipeline (package model) consumes these as its
+// benchmark observations, exactly as the paper calibrates task-time models
+// from instrumented runs.
+type TaskRecord struct {
+	JobID, Phase, Index int
+	Node                int
+	Slot                int // global slot index the task ran on
+	Flops               int64
+	LocalReadBytes      int64
+	RackReadBytes       int64 // non-local reads served within the rack
+	RemoteReadBytes     int64 // cross-rack reads
+	CacheReadBytes      int64 // reads served from the node memory cache
+	WriteBytes          int64
+	StartSec            float64
+	Seconds             float64
+	Retries             int
+}
+
+// JobRecord captures one executed job.
+type JobRecord struct {
+	JobID    int
+	Name     string
+	Kind     string
+	Phases   int
+	Tasks    int
+	StartSec float64
+	EndSec   float64
+}
+
+// Seconds returns the job's wall-clock (virtual) duration.
+func (j JobRecord) Seconds() float64 { return j.EndSec - j.StartSec }
+
+// RunMetrics aggregates a full plan execution.
+type RunMetrics struct {
+	TotalSeconds    float64
+	Jobs            []JobRecord
+	Tasks           []TaskRecord
+	TotalFlops      int64
+	TotalReadBytes  int64
+	TotalWriteBytes int64
+	// SpeculativeTasks counts straggler backups that won their race
+	// (only nonzero with Config.Speculation).
+	SpeculativeTasks int
+	// TotalCacheBytes counts reads served from node memory caches.
+	TotalCacheBytes int64
+}
+
+// TimelineCSV writes one row per task (job, phase, index, node, slot,
+// start, end, flops) so runs can be plotted as Gantt charts.
+func (m *RunMetrics) TimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops"}); err != nil {
+		return err
+	}
+	for _, t := range m.Tasks {
+		rec := []string{
+			strconv.Itoa(t.JobID), strconv.Itoa(t.Phase), strconv.Itoa(t.Index),
+			strconv.Itoa(t.Node), strconv.Itoa(t.Slot),
+			strconv.FormatFloat(t.StartSec, 'f', 3, 64),
+			strconv.FormatFloat(t.StartSec+t.Seconds, 'f', 3, 64),
+			strconv.FormatInt(t.Flops, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Utilization returns the fraction of slot-time spent running tasks:
+// total task seconds divided by (makespan x totalSlots). Low utilization
+// signals poor splits (too few tasks) or job-barrier slack.
+func (m *RunMetrics) Utilization(totalSlots int) float64 {
+	if m.TotalSeconds <= 0 || totalSlots <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, t := range m.Tasks {
+		busy += t.Seconds
+	}
+	u := busy / (m.TotalSeconds * float64(totalSlots))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (m *RunMetrics) addTask(t TaskRecord) {
+	m.Tasks = append(m.Tasks, t)
+	m.TotalFlops += t.Flops
+	m.TotalReadBytes += t.LocalReadBytes + t.RackReadBytes + t.RemoteReadBytes
+	m.TotalWriteBytes += t.WriteBytes
+	m.TotalCacheBytes += t.CacheReadBytes
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTile(n int, seed int64) *Tile {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTile(n, n)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func BenchmarkGemm128(b *testing.B) {
+	a, x := benchTile(128, 1), benchTile(128, 2)
+	c := NewTile(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		Gemm(c, a, x)
+	}
+}
+
+func BenchmarkGemmTA128(b *testing.B) {
+	a, x := benchTile(128, 1), benchTile(128, 2)
+	c := NewTile(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		GemmTA(c, a, x)
+	}
+}
+
+func BenchmarkSpGemm128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	dense := NewTile(128, 128)
+	for i := range dense.Data {
+		if rng.Float64() < 0.05 {
+			dense.Data[i] = rng.NormFloat64()
+		}
+	}
+	s := DenseToCSR(dense)
+	x := benchTile(128, 4)
+	c := NewTile(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		SpGemmDense(c, s, x)
+	}
+}
+
+func BenchmarkMaskedGemm128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pat := NewTile(128, 128)
+	for i := range pat.Data {
+		if rng.Float64() < 0.05 {
+			pat.Data[i] = 1
+		}
+	}
+	mask := DenseToCSR(pat)
+	l, r := benchTile(128, 6), benchTile(128, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskedGemm(mask, l, r)
+	}
+}
+
+func BenchmarkTranspose256(b *testing.B) {
+	t := benchTile(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(t)
+	}
+}
+
+func BenchmarkQR256x32(b *testing.B) {
+	a := RandomDense(256, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := QR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVD64x32(b *testing.B) {
+	a := RandomDense(64, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the client-side factorization routines that complete
+// the distributed pipelines: after Cumulon computes a sketch B = A·Ω on
+// the cluster, the small factorizations (QR of an m x k sketch with tiny
+// k, SVD of a k x n projection) run locally, exactly as the RSVD
+// algorithm prescribes. All routines are dense, deterministic and
+// unoptimized — their inputs are small by construction.
+
+// QR computes the thin QR factorization a = Q·R via Householder
+// reflections, for a with Rows >= Cols. Q is Rows x Cols with orthonormal
+// columns and R is Cols x Cols upper triangular.
+func QR(a *Dense) (q, r *Dense, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, nil, fmt.Errorf("linalg: QR needs rows >= cols, got %dx%d", m, n)
+	}
+	// Work on a copy; accumulate the reflectors in V.
+	work := a.Clone()
+	vs := make([][]float64, 0, n)
+	for j := 0; j < n; j++ {
+		// Householder vector for column j below the diagonal.
+		v := make([]float64, m)
+		var norm float64
+		for i := j; i < m; i++ {
+			v[i] = work.At(i, j)
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if v[j] > 0 {
+			norm = -norm
+		}
+		v[j] -= norm
+		var vnorm float64
+		for i := j; i < m; i++ {
+			vnorm += v[i] * v[i]
+		}
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply I - 2vvᵀ/vᵀv to the remaining columns.
+		for c := j; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i] * work.At(i, c)
+			}
+			f := 2 * dot / vnorm
+			for i := j; i < m; i++ {
+				work.Set(i, c, work.At(i, c)-f*v[i])
+			}
+		}
+		vs = append(vs, v)
+	}
+	r = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I.
+	q = NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := n - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		var vnorm float64
+		for i := j; i < m; i++ {
+			vnorm += v[i] * v[i]
+		}
+		for c := 0; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i] * q.At(i, c)
+			}
+			f := 2 * dot / vnorm
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-f*v[i])
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// SVDResult holds a thin singular value decomposition a = U · diag(S) · Vᵀ.
+type SVDResult struct {
+	U *Dense    // Rows x k
+	S []float64 // k singular values, descending
+	V *Dense    // Cols x k
+}
+
+// SVD computes the thin SVD of a by one-sided Jacobi rotations (Hestenes
+// method): numerically robust for the small, well-conditioned matrices the
+// RSVD postprocessing produces. k = min(Rows, Cols).
+func SVD(a *Dense) (*SVDResult, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Work on the transpose and swap U/V.
+		res, err := SVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVDResult{U: res.V, S: res.S, V: res.U}, nil
+	}
+	u := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 60
+	const eps = 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2x2 Gram entries for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation that annihilates the off-diagonal.
+				tau := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, tau) / (math.Abs(tau) + math.Sqrt(1+tau*tau))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Column norms are the singular values; normalize U.
+	type sv struct {
+		val float64
+		idx int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += u.At(i, j) * u.At(i, j)
+		}
+		svs[j] = sv{math.Sqrt(norm), j}
+	}
+	// Sort descending (insertion sort: n is small).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && svs[k].val > svs[k-1].val; k-- {
+			svs[k], svs[k-1] = svs[k-1], svs[k]
+		}
+	}
+	res := &SVDResult{U: NewDense(m, n), S: make([]float64, n), V: NewDense(n, n)}
+	for out, e := range svs {
+		res.S[out] = e.val
+		if e.val > 0 {
+			for i := 0; i < m; i++ {
+				res.U.Set(i, out, u.At(i, e.idx)/e.val)
+			}
+		}
+		for i := 0; i < n; i++ {
+			res.V.Set(i, out, v.At(i, e.idx))
+		}
+	}
+	return res, nil
+}
+
+// Reconstruct returns U · diag(S) · Vᵀ, for verifying factorizations.
+func (r *SVDResult) Reconstruct() *Dense {
+	k := len(r.S)
+	us := NewDense(r.U.Rows, k)
+	for i := 0; i < r.U.Rows; i++ {
+		for j := 0; j < k; j++ {
+			us.Set(i, j, r.U.At(i, j)*r.S[j])
+		}
+	}
+	return us.Mul(r.V.T())
+}
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix. It errors on non-SPD inputs (which
+// surfaces as a non-positive pivot).
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite (pivot %d: %g)", j, d)
+		}
+		l.Set(j, j, math.Sqrt(d))
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/l.At(j, j))
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a·x = b for SPD a using its Cholesky factorization
+// (forward then backward substitution). b may have multiple columns.
+func CholeskySolve(a, b *Dense) (*Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	if b.Rows != n {
+		return nil, fmt.Errorf("linalg: rhs rows %d != %d", b.Rows, n)
+	}
+	// Forward: L y = b.
+	y := NewDense(n, b.Cols)
+	for c := 0; c < b.Cols; c++ {
+		for i := 0; i < n; i++ {
+			s := b.At(i, c)
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * y.At(k, c)
+			}
+			y.Set(i, c, s/l.At(i, i))
+		}
+	}
+	// Backward: Lᵀ x = y.
+	x := NewDense(n, b.Cols)
+	for c := 0; c < b.Cols; c++ {
+		for i := n - 1; i >= 0; i-- {
+			s := y.At(i, c)
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * x.At(k, c)
+			}
+			x.Set(i, c, s/l.At(i, i))
+		}
+	}
+	return x, nil
+}
+
+// IsOrthonormalCols reports whether the columns of a are orthonormal
+// within tolerance tol (‖AᵀA − I‖∞ ≤ tol).
+func IsOrthonormalCols(a *Dense, tol float64) bool {
+	g := a.T().Mul(a)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := n + rng.Intn(12)
+		a := RandomDense(m, n, seed)
+		q, r, err := QR(a)
+		if err != nil {
+			return false
+		}
+		return q.Mul(r).AlmostEqual(a, 1e-10) && IsOrthonormalCols(q, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	a := RandomDense(10, 4, 3)
+	_, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at (%d,%d): %v", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, _, err := QR(RandomDense(3, 5, 1)); err == nil {
+		t.Fatal("want error for wide matrix")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Duplicate column: QR must still reconstruct.
+	a := NewDense(6, 3)
+	for i := 0; i < 6; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, float64(i+1)) // same as column 0
+		a.Set(i, 2, float64((i*i)%5))
+	}
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Mul(r).AlmostEqual(a, 1e-10) {
+		t.Fatal("rank-deficient QR reconstruction failed")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(10)
+		n := 2 + rng.Intn(10)
+		a := RandomDense(m, n, seed)
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		if !res.Reconstruct().AlmostEqual(a, 1e-9) {
+			return false
+		}
+		// Singular values descending and non-negative.
+		for i := range res.S {
+			if res.S[i] < 0 || (i > 0 && res.S[i] > res.S[i-1]+1e-12) {
+				return false
+			}
+		}
+		return IsOrthonormalCols(res.U, 1e-9) && IsOrthonormalCols(res.V, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDKnownSingularValues(t *testing.T) {
+	// diag(3, 2, 1) embedded in a 5x3 matrix.
+	a := NewDense(5, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 2)
+	a.Set(2, 2, 1)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(res.S[i]-w) > 1e-10 {
+			t.Fatalf("singular value %d: got %v want %v", i, res.S[i], w)
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	a := RandomDense(3, 7, 5)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reconstruct().AlmostEqual(a, 1e-9) {
+		t.Fatal("wide SVD reconstruction failed")
+	}
+	if res.U.Rows != 3 || res.V.Rows != 7 {
+		t.Fatalf("thin factors: U %dx%d V %dx%d", res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols)
+	}
+}
+
+func TestSVDLowRankTruncation(t *testing.T) {
+	// Rank-2 matrix: trailing singular values vanish.
+	u := RandomDense(8, 2, 1)
+	v := RandomDense(5, 2, 2)
+	a := u.Mul(v.T())
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(res.S); i++ {
+		if res.S[i] > 1e-10 {
+			t.Fatalf("rank-2 matrix has S[%d]=%v", i, res.S[i])
+		}
+	}
+}
+
+func TestIsOrthonormalCols(t *testing.T) {
+	if !IsOrthonormalCols(Identity(4), 1e-12) {
+		t.Fatal("identity should be orthonormal")
+	}
+	if IsOrthonormalCols(ConstDense(4, 2, 1), 1e-6) {
+		t.Fatal("constant matrix should not be orthonormal")
+	}
+}
+
+func spdMatrix(n int, seed int64) *Dense {
+	// AᵀA + n·I is SPD.
+	a := RandomDense(n, n, seed)
+	g := a.T().Mul(a)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+float64(n))
+	}
+	return g
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := spdMatrix(n, seed)
+		l, err := Cholesky(g)
+		if err != nil {
+			return false
+		}
+		return l.Mul(l.T()).AlmostEqual(g, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	bad := NewDense(2, 2)
+	bad.Set(0, 0, -1)
+	if _, err := Cholesky(bad); err == nil {
+		t.Fatal("want non-SPD error")
+	}
+	if _, err := Cholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	n := 8
+	g := spdMatrix(n, 4)
+	want := RandomDense(n, 2, 5)
+	b := g.Mul(want)
+	x, err := CholeskySolve(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.AlmostEqual(want, 1e-8) {
+		t.Fatalf("solve error %g", x.MaxAbsDiff(want))
+	}
+	if _, err := CholeskySolve(g, NewDense(3, 1)); err == nil {
+		t.Fatal("want rhs shape error")
+	}
+}

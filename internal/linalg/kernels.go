@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gemm computes C += A * B for dense tiles, where A is (m x k), B is
+// (k x n) and C is (m x n). It panics on shape mismatch: shape errors at
+// this level are always planner bugs, never data-dependent conditions.
+//
+// The kernel uses the ikj loop order with a hoisted A element so that the
+// inner loop is a scaled vector add over contiguous rows of B and C, which
+// is the standard cache-friendly arrangement for row-major storage.
+func Gemm(c, a, b *Tile) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: gemm shape mismatch %v * %v -> %v", a, b, c))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C += Aᵀ * B where A is (k x m), B is (k x n), C is (m x n).
+// Transposed-input kernels avoid materializing explicit transposes for the
+// common Aᵀ·B patterns in statistical workloads (e.g. GNMF update rules).
+func GemmTA(c, a, b *Tile) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: gemmTA shape mismatch %vᵀ * %v -> %v", a, b, c))
+	}
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C += A * Bᵀ where A is (m x k), B is (n x k), C is (m x n).
+func GemmTB(c, a, b *Tile) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: gemmTB shape mismatch %v * %vᵀ -> %v", a, b, c))
+	}
+	m, k, n := a.Rows, a.Cols, b.Rows
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// Transpose returns a new tile holding tᵀ.
+func Transpose(t *Tile) *Tile {
+	out := NewTile(t.Cols, t.Rows)
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		for j, v := range row {
+			out.Data[j*t.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// AddInto computes dst += src element-wise.
+func AddInto(dst, src *Tile) {
+	mustSameShape("add", dst, src)
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Zip applies f element-wise over a and b, writing into a fresh tile.
+func Zip(a, b *Tile, f func(x, y float64) float64) *Tile {
+	mustSameShape("zip", a, b)
+	out := NewTile(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Map applies f element-wise over t into a fresh tile.
+func Map(t *Tile, f func(x float64) float64) *Tile {
+	out := NewTile(t.Rows, t.Cols)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// MapInto applies f element-wise over t in place.
+func MapInto(t *Tile, f func(x float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Scale returns s * t in a fresh tile.
+func Scale(t *Tile, s float64) *Tile {
+	return Map(t, func(x float64) float64 { return s * x })
+}
+
+// Sum returns the sum of all elements of the tile.
+func Sum(t *Tile) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// SumSq returns the sum of squared elements, used by norm computations.
+func SumSq(t *Tile) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func MaxAbs(t *Tile) float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RowSums returns a (Rows x 1) tile whose i-th entry is the sum of row i.
+func RowSums(t *Tile) *Tile {
+	out := NewTile(t.Rows, 1)
+	for i := 0; i < t.Rows; i++ {
+		var s float64
+		for _, v := range t.Data[i*t.Cols : (i+1)*t.Cols] {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// ColSums returns a (1 x Cols) tile whose j-th entry is the sum of column j.
+func ColSums(t *Tile) *Tile {
+	out := NewTile(1, t.Cols)
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// GemmFlops returns the floating-point operation count of a GEMM with the
+// given dimensions (2mnk: one multiply and one add per inner step). The
+// cost models in package model consume this.
+func GemmFlops(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}
+
+func mustSameShape(op string, a, b *Tile) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch %v vs %v", op, a, b))
+	}
+}

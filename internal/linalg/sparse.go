@@ -1,0 +1,172 @@
+package linalg
+
+import "fmt"
+
+// CSRTile is a sparse tile in compressed-sparse-row form. Cumulon uses
+// sparse tiles for inputs such as ratings matrices, and for the "masked"
+// operators where a dense product is only needed at the nonzero positions
+// of a sparse matrix (the key primitive in sparse matrix factorization).
+type CSRTile struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len NNZ
+	Val        []float64 // len NNZ
+}
+
+// NNZ returns the number of stored (structurally nonzero) entries.
+func (s *CSRTile) NNZ() int { return len(s.Val) }
+
+// Bytes reports the serialized payload size estimate: 8 bytes per value,
+// 4 per column index, 4 per row pointer. Used by I/O accounting.
+func (s *CSRTile) Bytes() int64 {
+	return int64(len(s.Val))*12 + int64(len(s.RowPtr))*4
+}
+
+// DenseToCSR converts a dense tile to CSR, dropping exact zeros.
+func DenseToCSR(t *Tile) *CSRTile {
+	s := &CSRTile{Rows: t.Rows, Cols: t.Cols, RowPtr: make([]int, t.Rows+1)}
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		for j, v := range row {
+			if v != 0 {
+				s.ColIdx = append(s.ColIdx, j)
+				s.Val = append(s.Val, v)
+			}
+		}
+		s.RowPtr[i+1] = len(s.Val)
+	}
+	return s
+}
+
+// ToDense expands the CSR tile back to dense form.
+func (s *CSRTile) ToDense() *Tile {
+	t := NewTile(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			t.Data[i*s.Cols+s.ColIdx[p]] = s.Val[p]
+		}
+	}
+	return t
+}
+
+// SpGemmDense computes C += S * B where S is sparse (m x k), B dense
+// (k x n), C dense (m x n). Cost is proportional to NNZ(S) * n.
+func SpGemmDense(c *Tile, s *CSRTile, b *Tile) {
+	if s.Cols != b.Rows || c.Rows != s.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: spgemm shape mismatch %dx%d * %v -> %v", s.Rows, s.Cols, b, c))
+	}
+	n := b.Cols
+	for i := 0; i < s.Rows; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			av := s.Val[p]
+			brow := b.Data[s.ColIdx[p]*n : (s.ColIdx[p]+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// SpGemmDenseTA computes C += Sᵀ * B where S is sparse (k x m), B dense
+// (k x n), C dense (m x n).
+func SpGemmDenseTA(c *Tile, s *CSRTile, b *Tile) {
+	if s.Rows != b.Rows || c.Rows != s.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: spgemmTA shape mismatch (%dx%d)ᵀ * %v -> %v", s.Rows, s.Cols, b, c))
+	}
+	n := b.Cols
+	for i := 0; i < s.Rows; i++ {
+		brow := b.Data[i*n : (i+1)*n]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			av := s.Val[p]
+			crow := c.Data[s.ColIdx[p]*n : (s.ColIdx[p]+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MaskedGemm computes, for each structurally nonzero position (i,j) of
+// mask, out(i,j) = (A·B)(i,j), leaving all other positions zero. A is
+// (m x k), B is (k x n), mask is (m x n). This is Cumulon's masked
+// multiply operator: when only the sparse pattern of the output is needed
+// (e.g. computing predictions at observed ratings), it avoids the full
+// dense product, costing NNZ(mask) * k instead of m*n*k.
+func MaskedGemm(mask *CSRTile, a, b *Tile) *CSRTile {
+	if a.Cols != b.Rows || mask.Rows != a.Rows || mask.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: masked gemm shape mismatch %v * %v mask %dx%d", a, b, mask.Rows, mask.Cols))
+	}
+	k, n := a.Cols, b.Cols
+	out := &CSRTile{
+		Rows:   mask.Rows,
+		Cols:   mask.Cols,
+		RowPtr: append([]int(nil), mask.RowPtr...),
+		ColIdx: append([]int(nil), mask.ColIdx...),
+		Val:    make([]float64, mask.NNZ()),
+	}
+	for i := 0; i < mask.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for p := mask.RowPtr[i]; p < mask.RowPtr[i+1]; p++ {
+			j := mask.ColIdx[p]
+			var s float64
+			for q, av := range arow {
+				s += av * b.Data[q*n+j]
+			}
+			out.Val[p] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns sᵀ in CSR form, in O(NNZ + Rows + Cols).
+func (s *CSRTile) Transpose() *CSRTile {
+	out := &CSRTile{
+		Rows:   s.Cols,
+		Cols:   s.Rows,
+		RowPtr: make([]int, s.Cols+1),
+		ColIdx: make([]int, s.NNZ()),
+		Val:    make([]float64, s.NNZ()),
+	}
+	// Count entries per output row (= input column).
+	for _, c := range s.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for i := 0; i < s.Cols; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int(nil), out.RowPtr[:s.Cols]...)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			c := s.ColIdx[p]
+			out.ColIdx[next[c]] = i
+			out.Val[next[c]] = s.Val[p]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// SpZip applies f over the structurally nonzero entries of s paired with
+// the corresponding entries of the same-pattern sparse tile o. Both tiles
+// must share an identical sparsity pattern (as produced by MaskedGemm on
+// the same mask); this is verified.
+func SpZip(s, o *CSRTile, f func(x, y float64) float64) *CSRTile {
+	if s.Rows != o.Rows || s.Cols != o.Cols || s.NNZ() != o.NNZ() {
+		panic("linalg: spzip pattern mismatch")
+	}
+	out := &CSRTile{
+		Rows:   s.Rows,
+		Cols:   s.Cols,
+		RowPtr: append([]int(nil), s.RowPtr...),
+		ColIdx: append([]int(nil), s.ColIdx...),
+		Val:    make([]float64, s.NNZ()),
+	}
+	for p := range s.Val {
+		if s.ColIdx[p] != o.ColIdx[p] {
+			panic("linalg: spzip pattern mismatch")
+		}
+		out.Val[p] = f(s.Val[p], o.Val[p])
+	}
+	return out
+}

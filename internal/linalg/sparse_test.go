@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSparse(rng *rand.Rand, rows, cols int, density float64) *CSRTile {
+	t := NewTile(rows, cols)
+	for i := range t.Data {
+		if rng.Float64() < density {
+			t.Data[i] = rng.NormFloat64()
+		}
+	}
+	return DenseToCSR(t)
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTile(1+rng.Intn(15), 1+rng.Intn(15))
+		for i := range tl.Data {
+			if rng.Float64() < 0.3 {
+				tl.Data[i] = rng.NormFloat64()
+			}
+		}
+		return DenseToCSR(tl).ToDense().Equal(tl)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpGemmMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		s := randSparse(rng, m, k, 0.3)
+		b := randTile(rng, k, n)
+		got := NewTile(m, n)
+		SpGemmDense(got, s, b)
+		want := naiveGemm(s.ToDense(), b)
+		if !got.AlmostEqual(want, 1e-12) {
+			t.Fatalf("trial %d: spgemm mismatch", trial)
+		}
+	}
+}
+
+func TestSpGemmTAMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		k, m, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		s := randSparse(rng, k, m, 0.3)
+		b := randTile(rng, k, n)
+		got := NewTile(m, n)
+		SpGemmDenseTA(got, s, b)
+		want := naiveGemm(Transpose(s.ToDense()), b)
+		if !got.AlmostEqual(want, 1e-12) {
+			t.Fatalf("trial %d: spgemmTA mismatch", trial)
+		}
+	}
+}
+
+func TestMaskedGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a, b := randTile(rng, m, k), randTile(rng, k, n)
+		mask := randSparse(rng, m, n, 0.4)
+		got := MaskedGemm(mask, a, b)
+		full := naiveGemm(a, b)
+		// At masked positions the value must equal the full product; at
+		// unmasked positions the result must be structurally zero.
+		dense := got.ToDense()
+		maskDense := mask.ToDense()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if maskDense.At(i, j) != 0 {
+					if !Close(dense.At(i, j), full.At(i, j), 1e-12) {
+						t.Fatalf("masked value mismatch at (%d,%d)", i, j)
+					}
+				} else if dense.At(i, j) != 0 {
+					t.Fatalf("unmasked position (%d,%d) is nonzero", i, j)
+				}
+			}
+		}
+		if got.NNZ() != mask.NNZ() {
+			t.Fatalf("masked output pattern changed: %d vs %d", got.NNZ(), mask.NNZ())
+		}
+	}
+}
+
+func TestSpZip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	mask := randSparse(rng, 8, 8, 0.5)
+	a := MaskedGemm(mask, randTile(rng, 8, 3), randTile(rng, 3, 8))
+	b := MaskedGemm(mask, randTile(rng, 8, 3), randTile(rng, 3, 8))
+	sum := SpZip(a, b, func(x, y float64) float64 { return x + y })
+	want := a.ToDense()
+	AddInto(want, b.ToDense())
+	if !sum.ToDense().AlmostEqual(want, 1e-12) {
+		t.Fatal("spzip sum mismatch")
+	}
+}
+
+func TestSpZipPatternMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(15))
+	a := randSparse(rng, 5, 5, 0.5)
+	b := randSparse(rng, 5, 5, 0.5)
+	for a.NNZ() == b.NNZ() {
+		b = randSparse(rng, 5, 5, 0.5)
+	}
+	SpZip(a, b, func(x, y float64) float64 { return x })
+}
+
+func TestCSRBytes(t *testing.T) {
+	s := &CSRTile{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 1}, Val: []float64{1, 2}}
+	if s.Bytes() != 2*12+3*4 {
+		t.Fatalf("bytes: got %d", s.Bytes())
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSparse(rng, 1+rng.Intn(12), 1+rng.Intn(12), 0.4)
+		return s.Transpose().ToDense().Equal(Transpose(s.ToDense()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSparse(rng, 9, 7, 0.3)
+	if !s.Transpose().Transpose().ToDense().Equal(s.ToDense()) {
+		t.Fatal("double transpose != original")
+	}
+}

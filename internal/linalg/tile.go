@@ -1,0 +1,118 @@
+// Package linalg provides the dense and sparse tile kernels that underlie
+// Cumulon's tiled matrix representation, plus small dense reference matrices
+// used as correctness oracles throughout the test suite.
+//
+// A tile is a fixed-capacity, row-major block of float64 values. Matrices
+// are stored as grids of tiles (see package store); all physical operators
+// in the execution engine ultimately reduce to the tile kernels defined
+// here: GEMM, element-wise maps and zips, transpose, and reductions.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tile is a dense, row-major block of float64 values with Rows x Cols
+// elements. Tiles at the right and bottom fringe of a matrix may be smaller
+// than the matrix's nominal tile size; kernels therefore always consult the
+// tile's own dimensions rather than any global constant.
+type Tile struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewTile returns a zero-filled tile of the given shape.
+func NewTile(rows, cols int) *Tile {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid tile shape %dx%d", rows, cols))
+	}
+	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewTileFrom returns a tile wrapping the given backing slice. The slice is
+// used directly (not copied); len(data) must equal rows*cols.
+func NewTileFrom(rows, cols int, data []float64) *Tile {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: tile data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Tile{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (t *Tile) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tile) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Clone returns a deep copy of the tile.
+func (t *Tile) Clone() *Tile {
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return &Tile{Rows: t.Rows, Cols: t.Cols, Data: d}
+}
+
+// Zero resets every element to 0 in place.
+func (t *Tile) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tile) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Bytes reports the in-memory payload size of the tile in bytes, as used by
+// the I/O accounting in the DFS and the cost models.
+func (t *Tile) Bytes() int64 { return int64(len(t.Data)) * 8 }
+
+// Equal reports whether two tiles have identical shape and elements.
+func (t *Tile) Equal(o *Tile) bool {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether two tiles have identical shape and elements
+// within absolute-or-relative tolerance tol.
+func (t *Tile) AlmostEqual(o *Tile, tol float64) bool {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		return false
+	}
+	for i, v := range t.Data {
+		if !Close(v, o.Data[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close reports whether a and b are equal within absolute-or-relative
+// tolerance tol. NaNs compare equal to NaNs so that oracle comparisons of
+// programs with undefined regions remain meaningful.
+func Close(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// String renders a compact description, used in error messages and traces.
+func (t *Tile) String() string {
+	return fmt.Sprintf("Tile(%dx%d)", t.Rows, t.Cols)
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"fmt"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/exec"
+	"cumulon/internal/lang"
+	"cumulon/internal/plan"
+)
+
+// benchmarkPrograms is the micro-benchmark suite: a spread of shapes and
+// operator mixes chosen to decorrelate the model features (CPU-heavy
+// products, I/O-heavy copies, mixed element-wise pipelines), mirroring the
+// paper's one-time per-machine-type benchmarking phase.
+var benchmarkPrograms = []string{
+	// CPU-dominated: square products of growing size.
+	`
+input A 4096 4096
+input B 4096 4096
+C = A * B
+output C
+`,
+	`
+input A 8192 2048
+input B 2048 4096
+C = A * B
+output C
+`,
+	// Skinny products (small output, tall inner dimension).
+	`
+input W 65536 256
+C = W' * W
+output C
+`,
+	// I/O-dominated: pure copies and element-wise maps.
+	`
+input A 16384 8192
+B = A
+output B
+`,
+	`
+input A 16384 4096
+input B 16384 4096
+C = A .* B + A
+output C
+`,
+	// Mixed: fused epilogue over a product.
+	`
+input A 4096 4096
+input B 4096 4096
+input C 4096 4096
+D = C .* (A * B)
+output D
+`,
+}
+
+// CalibrationResult bundles the fitted model with its raw observations so
+// callers can report residuals (experiment E7).
+type CalibrationResult struct {
+	Machine cloud.MachineType
+	Slots   int
+	Model   *TaskModel
+	Obs     []Obs
+}
+
+// Calibrate runs the micro-benchmark suite on a small instrumented
+// cluster of the given machine type and slot configuration and fits the
+// task-time model. Benchmarks run in virtual mode: durations follow the
+// machine's hardware profile with straggler noise, which is exactly what
+// the fitted model must capture.
+func Calibrate(mt cloud.MachineType, slots int, seed int64) (*CalibrationResult, error) {
+	cluster, err := cloud.NewCluster(mt, 4, slots)
+	if err != nil {
+		return nil, err
+	}
+	var obs []Obs
+	repl := 3
+	if repl > cluster.Nodes {
+		repl = cluster.Nodes
+	}
+	for i, src := range benchmarkPrograms {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("model: benchmark %d: %w", i, err)
+		}
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 1024})
+		if err != nil {
+			return nil, fmt.Errorf("model: benchmark %d: %w", i, err)
+		}
+		// Several splits per benchmark vary per-task work, enriching the
+		// regression design.
+		for _, tasks := range []int{4, 16, 64} {
+			e, err := exec.New(exec.Config{
+				Cluster:     cluster,
+				Replication: repl,
+				Seed:        seed + int64(i*100+tasks),
+				NoiseFactor: 0.08,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pl.AutoSplit(tasks)
+			for _, in := range pl.Inputs {
+				if err := e.LoadVirtual(in); err != nil {
+					return nil, err
+				}
+			}
+			m, err := e.Run(pl)
+			if err != nil {
+				return nil, fmt.Errorf("model: benchmark %d: %w", i, err)
+			}
+			obs = append(obs, ObsFromTasks(m.Tasks, repl)...)
+		}
+	}
+	tm, err := Fit(obs)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationResult{Machine: mt, Slots: slots, Model: tm, Obs: obs}, nil
+}
+
+// ObsFromTasks converts engine task records into model observations,
+// folding write traffic into the disk and network features the same way
+// the engine's duration function does.
+func ObsFromTasks(tasks []exec.TaskRecord, replication int) []Obs {
+	out := make([]Obs, 0, len(tasks))
+	for _, t := range tasks {
+		out = append(out, Obs{
+			Flops:     t.Flops,
+			DiskBytes: t.LocalReadBytes + t.WriteBytes,
+			NetBytes:  t.RackReadBytes + t.RemoteReadBytes + t.WriteBytes*int64(replication-1),
+			Seconds:   t.Seconds,
+		})
+	}
+	return out
+}

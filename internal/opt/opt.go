@@ -1,0 +1,399 @@
+// Package opt is Cumulon's cost-based deployment optimizer: given a
+// matrix program and a time or money constraint, it searches the joint
+// space of
+//
+//   - physical plan parameters (per-job splits),
+//   - configuration settings (task slots per node),
+//   - hardware provisioning (machine type and cluster size),
+//
+// using the calibrated task-time models (package model) and the cluster
+// simulator (package sim) to predict completion time, and the provider's
+// billing rules (package cloud) to price each candidate. This is the
+// paper's core optimization contribution: database-style physical
+// optimization extended to provisioning and configuration.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/lang"
+	"cumulon/internal/model"
+	"cumulon/internal/plan"
+	"cumulon/internal/sim"
+)
+
+// Deployment is one fully specified way to run the program: a cluster and
+// the per-job splits tuned for it, with predicted time and price.
+type Deployment struct {
+	Cluster cloud.Cluster
+	// TileSize is the storage tile size this deployment was planned for
+	// (a physical parameter the optimizer may sweep).
+	TileSize    int
+	Splits      map[int]plan.Split
+	PredSeconds float64
+	// Cost is the billed price (whole instance-hours); CostLinear is the
+	// idealized per-second price, reported for tradeoff curves.
+	Cost       float64
+	CostLinear float64
+}
+
+// Apply copies the deployment's splits onto a freshly compiled plan so an
+// engine can execute exactly what the optimizer predicted. The plan must
+// have been compiled with the deployment's TileSize.
+func (d *Deployment) Apply(pl *plan.Plan) error {
+	if d.TileSize != 0 && pl.TileSize != d.TileSize {
+		return fmt.Errorf("opt: plan tile size %d does not match deployment's %d", pl.TileSize, d.TileSize)
+	}
+	for _, j := range pl.Jobs {
+		s, ok := d.Splits[j.ID]
+		if !ok {
+			return fmt.Errorf("opt: deployment has no split for job %d", j.ID)
+		}
+		j.Split = s
+	}
+	return nil
+}
+
+func (d *Deployment) String() string {
+	return fmt.Sprintf("%s: %.0fs, $%.2f", d.Cluster, d.PredSeconds, d.Cost)
+}
+
+// Request describes an optimization problem.
+type Request struct {
+	Program *lang.Program
+	PlanCfg plan.Config
+	// DeadlineSec bounds completion time (MinCostForDeadline).
+	DeadlineSec float64
+	// BudgetDollars bounds billed cost (MinTimeForBudget).
+	BudgetDollars float64
+	// Machines restricts the machine-type catalog (default: full catalog).
+	Machines []cloud.MachineType
+	// MaxNodes bounds the cluster-size sweep (default 64).
+	MaxNodes int
+	// TileSizes optionally sweeps the storage tile size as part of the
+	// search; empty means use PlanCfg.TileSize only.
+	TileSizes []int
+	// Replication is the DFS replication factor (default 3).
+	Replication int
+	// JobStartupSec must match the target engine's (default 6).
+	JobStartupSec float64
+	// Confidence, when in (0, 1), makes MinCostForDeadline promise the
+	// deadline probabilistically: a candidate is feasible only if the
+	// Confidence-quantile of its Monte Carlo completion-time distribution
+	// meets the deadline, not just its point estimate. Costs extra
+	// simulation for the candidates near the frontier.
+	Confidence float64
+	// Trials is the Monte Carlo sample count for Confidence (default 30).
+	Trials int
+}
+
+func (r Request) withDefaults() Request {
+	if len(r.Machines) == 0 {
+		r.Machines = cloud.Catalog()
+	}
+	if r.MaxNodes == 0 {
+		r.MaxNodes = 64
+	}
+	if r.Replication == 0 {
+		r.Replication = 3
+	}
+	if r.JobStartupSec == 0 {
+		r.JobStartupSec = 6
+	}
+	return r
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best *Deployment
+	// Met reports whether the constraint was satisfiable; when false,
+	// Best is the closest candidate (fastest or cheapest).
+	Met bool
+	// Candidates are all evaluated deployments, in evaluation order.
+	Candidates []Deployment
+	// Frontier is the Pareto-optimal (time, cost) subset, time-ascending.
+	Frontier []Deployment
+}
+
+// Optimizer caches calibrated task-time models across searches (the
+// paper's benchmarking phase is per machine type, not per query).
+type Optimizer struct {
+	seed   int64
+	models map[string]*model.TaskModel
+}
+
+// New creates an optimizer; seed drives calibration determinism.
+func New(seed int64) *Optimizer {
+	return &Optimizer{seed: seed, models: map[string]*model.TaskModel{}}
+}
+
+// ModelFor returns the (cached) calibrated model for a machine type and
+// slot configuration.
+func (o *Optimizer) ModelFor(mt cloud.MachineType, slots int) (*model.TaskModel, error) {
+	key := fmt.Sprintf("%s/%d", mt.Name, slots)
+	if m, ok := o.models[key]; ok {
+		return m, nil
+	}
+	res, err := model.Calibrate(mt, slots, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	o.models[key] = res.Model
+	return res.Model, nil
+}
+
+// slotOptions returns the slot configurations to sweep for a machine
+// type: 1, half the cores, the cores, and 2x oversubscription.
+func slotOptions(mt cloud.MachineType) []int {
+	set := map[int]bool{}
+	var out []int
+	for _, s := range []int{1, mt.Cores / 2, mt.Cores, 2 * mt.Cores} {
+		if s >= 1 && !set[s] {
+			set[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// nodeSweep returns the cluster sizes to consider.
+func nodeSweep(maxNodes int) []int {
+	base := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	var out []int
+	for _, n := range base {
+		if n <= maxNodes {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Enumerate evaluates the full deployment space for the request: every
+// (machine type, slots, nodes) triple, with per-job splits optimized by
+// the simulator for each.
+func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
+	req = req.withDefaults()
+	if _, err := req.Program.Validate(); err != nil {
+		return nil, err
+	}
+	tileSizes := req.TileSizes
+	if len(tileSizes) == 0 {
+		tileSizes = []int{req.PlanCfg.TileSize}
+	}
+	var out []Deployment
+	for _, mt := range req.Machines {
+		for _, slots := range slotOptions(mt) {
+			tm, err := o.ModelFor(mt, slots)
+			if err != nil {
+				return nil, err
+			}
+			for _, nodes := range nodeSweep(req.MaxNodes) {
+				cluster, err := cloud.NewCluster(mt, nodes, slots)
+				if err != nil {
+					return nil, err
+				}
+				for _, ts := range tileSizes {
+					cfg := req.PlanCfg
+					cfg.TileSize = ts
+					pl, err := plan.Compile(req.Program, cfg)
+					if err != nil {
+						return nil, err
+					}
+					pred := sim.New(tm, cluster)
+					pred.Replication = req.Replication
+					pred.JobStartup = req.JobStartupSec
+					memPerSlot := int64(mt.MemoryGB * 1e9 * 0.7 / float64(slots))
+					// Sweep splits with the fast wave model, then price the
+					// chosen deployment with the exact scheduler simulation.
+					pred.Coarse = true
+					pred.OptimizeSplits(pl, memPerSlot)
+					pred.Coarse = false
+					secs := pred.PredictPlan(pl)
+					splits := map[int]plan.Split{}
+					for _, j := range pl.Jobs {
+						splits[j.ID] = j.Split
+					}
+					out = append(out, Deployment{
+						Cluster:     cluster,
+						TileSize:    ts,
+						Splits:      splits,
+						PredSeconds: secs,
+						Cost:        cloud.Cost(mt, nodes, secs),
+						CostLinear:  cloud.CostLinear(mt, nodes, secs),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MinCostForDeadline finds the cheapest deployment predicted to finish
+// within the deadline. If none exists, Met is false and Best is the
+// fastest deployment found.
+func (o *Optimizer) MinCostForDeadline(req Request) (*Result, error) {
+	req = req.withDefaults()
+	if req.DeadlineSec <= 0 {
+		return nil, fmt.Errorf("opt: deadline must be positive")
+	}
+	cands, err := o.Enumerate(req)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Candidates: cands, Frontier: pareto(cands)}
+	if req.Confidence > 0 && req.Confidence < 1 {
+		return o.minCostConfident(req, res)
+	}
+	var best, fastest *Deployment
+	for i := range cands {
+		d := &cands[i]
+		if fastest == nil || d.PredSeconds < fastest.PredSeconds {
+			fastest = d
+		}
+		if d.PredSeconds > req.DeadlineSec {
+			continue
+		}
+		if best == nil || d.Cost < best.Cost ||
+			(d.Cost == best.Cost && d.PredSeconds < best.PredSeconds) {
+			best = d
+		}
+	}
+	if best != nil {
+		res.Best, res.Met = best, true
+	} else {
+		res.Best, res.Met = fastest, false
+	}
+	return res, nil
+}
+
+// minCostConfident picks the cheapest candidate whose Confidence-quantile
+// completion time (by Monte Carlo over the model's residual distribution)
+// meets the deadline. Candidates are verified lazily in cost order, so
+// the expensive simulation only touches the frontier.
+func (o *Optimizer) minCostConfident(req Request, res *Result) (*Result, error) {
+	trials := req.Trials
+	if trials <= 0 {
+		trials = 30
+	}
+	order := make([]int, len(res.Candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := res.Candidates[order[a]], res.Candidates[order[b]]
+		if da.Cost != db.Cost {
+			return da.Cost < db.Cost
+		}
+		return da.PredSeconds < db.PredSeconds
+	})
+	var fastest *Deployment
+	for _, idx := range order {
+		d := &res.Candidates[idx]
+		if fastest == nil || d.PredSeconds < fastest.PredSeconds {
+			fastest = d
+		}
+		// Point-infeasible candidates cannot become feasible at a higher
+		// quantile.
+		if d.PredSeconds > req.DeadlineSec {
+			continue
+		}
+		q, err := o.confQuantile(req, d, trials)
+		if err != nil {
+			return nil, err
+		}
+		if q <= req.DeadlineSec {
+			dd := *d
+			dd.PredSeconds = q // report the promised (quantile) time
+			res.Best, res.Met = &dd, true
+			return res, nil
+		}
+	}
+	res.Best, res.Met = fastest, false
+	return res, nil
+}
+
+// confQuantile recompiles the candidate's plan, applies its splits, and
+// simulates the completion-time quantile at the request's confidence.
+func (o *Optimizer) confQuantile(req Request, d *Deployment, trials int) (float64, error) {
+	cfg := req.PlanCfg
+	if d.TileSize != 0 {
+		cfg.TileSize = d.TileSize
+	}
+	pl, err := plan.Compile(req.Program, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Apply(pl); err != nil {
+		return 0, err
+	}
+	tm, err := o.ModelFor(d.Cluster.Type, d.Cluster.Slots)
+	if err != nil {
+		return 0, err
+	}
+	pred := sim.New(tm, d.Cluster)
+	pred.Replication = req.Replication
+	pred.JobStartup = req.JobStartupSec
+	return pred.PredictPlanQuantile(pl, trials, o.seed+int64(d.Cluster.Nodes), req.Confidence), nil
+}
+
+// MinTimeForBudget finds the fastest deployment whose billed cost fits the
+// budget. If none exists, Met is false and Best is the cheapest.
+func (o *Optimizer) MinTimeForBudget(req Request) (*Result, error) {
+	req = req.withDefaults()
+	if req.BudgetDollars <= 0 {
+		return nil, fmt.Errorf("opt: budget must be positive")
+	}
+	cands, err := o.Enumerate(req)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Candidates: cands, Frontier: pareto(cands)}
+	var best, cheapest *Deployment
+	for i := range cands {
+		d := &cands[i]
+		if cheapest == nil || d.Cost < cheapest.Cost {
+			cheapest = d
+		}
+		if d.Cost > req.BudgetDollars {
+			continue
+		}
+		if best == nil || d.PredSeconds < best.PredSeconds ||
+			(d.PredSeconds == best.PredSeconds && d.Cost < best.Cost) {
+			best = d
+		}
+	}
+	if best != nil {
+		res.Best, res.Met = best, true
+	} else {
+		res.Best, res.Met = cheapest, false
+	}
+	return res, nil
+}
+
+// pareto returns the deployments not dominated in (time, cost), sorted by
+// time ascending (and thus cost descending).
+func pareto(cands []Deployment) []Deployment {
+	sorted := append([]Deployment(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PredSeconds != sorted[j].PredSeconds {
+			return sorted[i].PredSeconds < sorted[j].PredSeconds
+		}
+		return sorted[i].Cost < sorted[j].Cost
+	})
+	var out []Deployment
+	minCost := math.Inf(1)
+	for _, d := range sorted {
+		if d.Cost < minCost {
+			out = append(out, d)
+			minCost = d.Cost
+		}
+	}
+	return out
+}

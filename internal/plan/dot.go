@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the plan's job DAG in Graphviz DOT syntax: one node per
+// job (labelled with its kind, output matrix, grid and split) plus the
+// input matrices it reads, with edges following the data flow. Feed the
+// output to `dot -Tsvg` to visualize a plan.
+func (p *Plan) ToDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fontname=\"monospace\" fontsize=10];\n")
+
+	// Program inputs as plain boxes.
+	inputs := map[string]bool{}
+	for _, in := range p.Inputs {
+		inputs[in.Name] = true
+		kind := "dense"
+		if in.Sparse {
+			kind = "sparse"
+		}
+		fmt.Fprintf(&b, "  %q [shape=box style=dashed label=\"%s\\n%dx%d %s\"];\n",
+			"m:"+in.Name, in.Name, in.Rows, in.Cols, kind)
+	}
+
+	// Producer lookup for edges.
+	producer := map[string]int{}
+	for _, j := range p.Jobs {
+		producer[j.Out.Name] = j.ID
+	}
+	for _, j := range p.Jobs {
+		shape := "ellipse"
+		extra := ""
+		if j.Kind == MulKind {
+			shape = "box"
+			extra = fmt.Sprintf("\\nK=%d", j.KSize)
+			if j.MaskLeaf != "" {
+				extra += " masked"
+			}
+		}
+		fmt.Fprintf(&b, "  \"j%d\" [shape=%s label=\"job %d (%s)\\n%s %dx%d tiles\\nsplit %s%s\"];\n",
+			j.ID, shape, j.ID, j.Kind, j.Out.Name, j.ITiles(), j.JTiles(), j.Split, extra)
+
+		// Edges from each distinct input matrix.
+		seen := map[string]bool{}
+		names := make([]string, 0, len(j.Leaves))
+		for _, ref := range j.Leaves {
+			names = append(names, ref.Meta.Name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if src, ok := producer[name]; ok && src != j.ID {
+				fmt.Fprintf(&b, "  \"j%d\" -> \"j%d\";\n", src, j.ID)
+			} else if inputs[name] {
+				fmt.Fprintf(&b, "  %q -> \"j%d\";\n", "m:"+name, j.ID)
+			}
+		}
+	}
+
+	// Program outputs as double circles.
+	outNames := make([]string, 0, len(p.Outputs))
+	for v := range p.Outputs {
+		outNames = append(outNames, v)
+	}
+	sort.Strings(outNames)
+	for _, v := range outNames {
+		meta := p.Outputs[v]
+		fmt.Fprintf(&b, "  %q [shape=box style=bold label=\"output %s\\n%dx%d\"];\n",
+			"o:"+v, v, meta.Rows, meta.Cols)
+		if src, ok := producer[meta.Name]; ok {
+			fmt.Fprintf(&b, "  \"j%d\" -> %q;\n", src, "o:"+v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,234 @@
+// Package plan lowers Cumulon programs (package lang) into executable
+// physical plans: DAGs of jobs over tiled matrices.
+//
+// The execution model is the paper's: every job is a *map-only,
+// multi-input* job. A task reads exactly the tiles it needs from any
+// number of stored matrices and writes output tiles straight back to the
+// DFS — there is no shuffle, sort or reduce phase. Two job kinds exist:
+//
+//   - Map jobs evaluate a fused tree of element-wise operators (add, sub,
+//     Hadamard product/division, scaling, scalar functions, transposed
+//     reads) tile-by-tile over any number of inputs.
+//
+//   - Mul jobs compute a tiled matrix product C = prologueL(A) ×
+//     prologueR(B) with an optional fused element-wise epilogue that may
+//     reference additional input matrices at the output coordinates. The
+//     product is parallelized by a split (ci, cj, ck) of the tile-space
+//     cube; ck > 1 trades redundant input reads for a subsequent
+//     aggregation pass over partial results (Cumulon's replacement for the
+//     MapReduce shuffle).
+//
+// Logical rewrites (transpose pushdown, scalar folding, matrix-chain
+// reordering) run before job cutting; see rewrite.go. Job cutting and
+// operator fusion live in lower.go.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/store"
+)
+
+// MMVar is the reserved leaf name that an epilogue expression uses to
+// refer to the matrix-product result inside a Mul job.
+const MMVar = "$mm"
+
+// JobKind distinguishes the two physical job templates.
+type JobKind int
+
+const (
+	// MapKind is a fused element-wise job.
+	MapKind JobKind = iota
+	// MulKind is a tiled matrix-multiply job with fused prologues/epilogue.
+	MulKind
+)
+
+func (k JobKind) String() string {
+	if k == MulKind {
+		return "mul"
+	}
+	return "map"
+}
+
+// LeafRef identifies one stored-matrix input of a job. Transposed leaves
+// are read through Cumulon's transposed access path: tile (i, j) of Aᵀ is
+// the in-memory transpose of tile (j, i) of A, so no transpose job is ever
+// materialized.
+type LeafRef struct {
+	Meta       store.Meta
+	Transposed bool
+}
+
+// Shape returns the logical shape of the leaf as seen by the job.
+func (l LeafRef) Shape() (rows, cols int) {
+	if l.Transposed {
+		return l.Meta.Cols, l.Meta.Rows
+	}
+	return l.Meta.Rows, l.Meta.Cols
+}
+
+// Split describes how a job's work is partitioned into tasks. For a Mul
+// job computing an (I × J × K)-tile product cube, the cube is cut into
+// CI × CJ × CK chunks, one task each. For a Map job over an (I × J) output
+// tile grid, only CI and CJ apply (CK must be 1).
+type Split struct {
+	CI, CJ, CK int
+}
+
+// Tasks returns the number of tasks the split induces.
+func (s Split) Tasks() int { return s.CI * s.CJ * s.CK }
+
+func (s Split) String() string { return fmt.Sprintf("(%d,%d,%d)", s.CI, s.CJ, s.CK) }
+
+// Validate checks the split against a job's tile-grid dimensions.
+func (s Split) Validate(iTiles, jTiles, kTiles int, kind JobKind) error {
+	if s.CI < 1 || s.CJ < 1 || s.CK < 1 {
+		return fmt.Errorf("plan: split %v has non-positive factors", s)
+	}
+	if s.CI > iTiles || s.CJ > jTiles {
+		return fmt.Errorf("plan: split %v exceeds tile grid %dx%d", s, iTiles, jTiles)
+	}
+	if kind == MapKind && s.CK != 1 {
+		return fmt.Errorf("plan: map job split %v must have ck=1", s)
+	}
+	if kind == MulKind && s.CK > kTiles {
+		return fmt.Errorf("plan: split %v exceeds k tiles %d", s, kTiles)
+	}
+	return nil
+}
+
+// Job is one physical job of a plan.
+type Job struct {
+	ID   int
+	Name string // human-readable label, e.g. "s2/H#1:mul"
+	Kind JobKind
+
+	// Out is the matrix this job materializes.
+	Out store.Meta
+
+	// Leaves binds leaf variable names used in the job's expressions to
+	// stored matrices.
+	Leaves map[string]LeafRef
+
+	// Expr is the fused element-wise tree of a Map job, over Leaves.
+	Expr lang.Expr
+
+	// LExpr and RExpr are the prologue trees of a Mul job, over Leaves;
+	// their product is the job's core. Epilogue, if non-nil, is applied to
+	// the product tile with MMVar bound to it and any other leaves read at
+	// the output coordinates.
+	LExpr, RExpr lang.Expr
+	Epilogue     lang.Expr
+
+	// MaskLeaf, when non-empty, names the sparse pattern leaf of a masked
+	// multiply: the job computes the product only at the pattern's stored
+	// positions and writes a sparse output. Masked jobs cannot k-split
+	// (partial sparse aggregation is not supported) and carry no epilogue.
+	MaskLeaf string
+
+	// Split is the task decomposition; engines and the optimizer may
+	// overwrite it before execution.
+	Split Split
+
+	// Deps are the job IDs whose outputs this job reads.
+	Deps []int
+
+	// KSize is the shared (inner) dimension of a Mul job in elements.
+	KSize int
+}
+
+// ITiles returns the output tile-grid row count.
+func (j *Job) ITiles() int { return j.Out.TileRows() }
+
+// JTiles returns the output tile-grid column count.
+func (j *Job) JTiles() int { return j.Out.TileCols() }
+
+// KTiles returns the inner-dimension tile count of a Mul job (1 for Map).
+func (j *Job) KTiles() int {
+	if j.Kind != MulKind {
+		return 1
+	}
+	return (j.KSize + j.Out.TileSize - 1) / j.Out.TileSize
+}
+
+// InputMetas returns the distinct stored matrices the job reads, sorted by
+// name for determinism.
+func (j *Job) InputMetas() []store.Meta {
+	seen := map[string]store.Meta{}
+	for _, l := range j.Leaves {
+		seen[l.Meta.Name] = l.Meta
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]store.Meta, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d %s [%s] -> %s (%dx%d tiles, split %v)",
+		j.ID, j.Name, j.Kind, j.Out.Name, j.ITiles(), j.JTiles(), j.Split)
+}
+
+// Plan is a physical plan: a dependency-ordered list of jobs plus the
+// bindings of program inputs and outputs to stored matrices.
+type Plan struct {
+	Program  *lang.Program
+	TileSize int
+	Jobs     []*Job
+	// Inputs lists the stored matrices the program expects to pre-exist.
+	Inputs []store.Meta
+	// Outputs maps each program output variable to its final stored matrix.
+	Outputs map[string]store.Meta
+}
+
+// JobByID returns the job with the given id, or nil.
+func (p *Plan) JobByID(id int) *Job {
+	for _, j := range p.Jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the jobs in a valid execution order (they are emitted
+// in dependency order by construction; this verifies and returns them).
+func (p *Plan) TopoOrder() ([]*Job, error) {
+	done := map[int]bool{}
+	for _, j := range p.Jobs {
+		for _, d := range j.Deps {
+			if !done[d] {
+				return nil, fmt.Errorf("plan: job %d depends on %d which is not yet executed", j.ID, d)
+			}
+		}
+		done[j.ID] = true
+	}
+	return p.Jobs, nil
+}
+
+// TotalTiles returns the total number of output tiles across all jobs, a
+// rough size indicator used in reports.
+func (p *Plan) TotalTiles() int {
+	n := 0
+	for _, j := range p.Jobs {
+		n += j.ITiles() * j.JTiles()
+	}
+	return n
+}
+
+// String renders a human-readable plan summary.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("plan(%s): %d jobs, tile=%d\n", p.Program.Name, len(p.Jobs), p.TileSize)
+	for _, j := range p.Jobs {
+		s += "  " + j.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,303 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"cumulon/internal/lang"
+)
+
+// Rewrite applies Cumulon's logical rewrites to an expression:
+//
+//  1. transpose pushdown — transposes are pushed to the variables, using
+//     (AB)ᵀ = BᵀAᵀ and the fact that transpose commutes with element-wise
+//     operators, so that no transpose ever has to be materialized (the
+//     engine reads transposed tiles directly);
+//  2. scalar folding — nested scalings collapse into one;
+//  3. matrix-chain reordering — maximal products A·B·C·… are re-parenthesized
+//     by the classic dynamic program to minimize total flops.
+//
+// env supplies the shapes of all referenced variables (from
+// Program.Validate). Rewrite never changes the value of the expression.
+func Rewrite(e lang.Expr, env map[string]lang.Shape) (lang.Expr, error) {
+	e = pushTranspose(e, false)
+	e = foldScale(e)
+	return reorderChains(e, env)
+}
+
+// pushTranspose returns an expression equal to e (or eᵀ when t is true)
+// in which every Transpose node wraps a Var.
+func pushTranspose(e lang.Expr, t bool) lang.Expr {
+	switch x := e.(type) {
+	case lang.Var:
+		if t {
+			return lang.Transpose{X: x}
+		}
+		return x
+	case lang.Transpose:
+		return pushTranspose(x.X, !t)
+	case lang.MatMul:
+		if t {
+			return lang.MatMul{L: pushTranspose(x.R, true), R: pushTranspose(x.L, true)}
+		}
+		return lang.MatMul{L: pushTranspose(x.L, false), R: pushTranspose(x.R, false)}
+	case lang.Add:
+		return lang.Add{L: pushTranspose(x.L, t), R: pushTranspose(x.R, t)}
+	case lang.Sub:
+		return lang.Sub{L: pushTranspose(x.L, t), R: pushTranspose(x.R, t)}
+	case lang.ElemMul:
+		return lang.ElemMul{L: pushTranspose(x.L, t), R: pushTranspose(x.R, t)}
+	case lang.ElemDiv:
+		return lang.ElemDiv{L: pushTranspose(x.L, t), R: pushTranspose(x.R, t)}
+	case lang.Scale:
+		return lang.Scale{S: x.S, X: pushTranspose(x.X, t)}
+	case lang.Apply:
+		return lang.Apply{Fn: x.Fn, X: pushTranspose(x.X, t)}
+	case lang.Mask:
+		// mask(P, X)ᵀ = mask(Pᵀ, Xᵀ): the pattern transposes with the value.
+		return lang.Mask{P: pushTranspose(x.P, t), X: pushTranspose(x.X, t)}
+	default:
+		panic(fmt.Sprintf("plan: pushTranspose: unknown node %T", e))
+	}
+}
+
+// foldScale collapses Scale(a, Scale(b, X)) into Scale(a*b, X) and removes
+// Scale(1, X).
+func foldScale(e lang.Expr) lang.Expr {
+	switch x := e.(type) {
+	case lang.Var:
+		return x
+	case lang.Transpose:
+		return lang.Transpose{X: foldScale(x.X)}
+	case lang.MatMul:
+		return lang.MatMul{L: foldScale(x.L), R: foldScale(x.R)}
+	case lang.Add:
+		return lang.Add{L: foldScale(x.L), R: foldScale(x.R)}
+	case lang.Sub:
+		return lang.Sub{L: foldScale(x.L), R: foldScale(x.R)}
+	case lang.ElemMul:
+		return lang.ElemMul{L: foldScale(x.L), R: foldScale(x.R)}
+	case lang.ElemDiv:
+		return lang.ElemDiv{L: foldScale(x.L), R: foldScale(x.R)}
+	case lang.Scale:
+		inner := foldScale(x.X)
+		s := x.S
+		for {
+			if si, ok := inner.(lang.Scale); ok {
+				s *= si.S
+				inner = si.X
+				continue
+			}
+			break
+		}
+		if s == 1 {
+			return inner
+		}
+		return lang.Scale{S: s, X: inner}
+	case lang.Apply:
+		return lang.Apply{Fn: x.Fn, X: foldScale(x.X)}
+	case lang.Mask:
+		return lang.Mask{P: foldScale(x.P), X: foldScale(x.X)}
+	default:
+		panic(fmt.Sprintf("plan: foldScale: unknown node %T", e))
+	}
+}
+
+// reorderChains rewrites every maximal multiplication chain using the
+// optimal matrix-chain-order dynamic program over the operand shapes.
+func reorderChains(e lang.Expr, env map[string]lang.Shape) (lang.Expr, error) {
+	switch x := e.(type) {
+	case lang.Var:
+		return x, nil
+	case lang.Transpose:
+		inner, err := reorderChains(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Transpose{X: inner}, nil
+	case lang.MatMul:
+		factors := collectFactors(e)
+		reordered := make([]lang.Expr, len(factors))
+		dims := make([]int, 0, len(factors)+1)
+		for i, f := range factors {
+			rf, err := reorderChains(f, env)
+			if err != nil {
+				return nil, err
+			}
+			reordered[i] = rf
+			sh, err := lang.InferShape(rf, env)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				dims = append(dims, sh.Rows)
+			}
+			dims = append(dims, sh.Cols)
+		}
+		return chainOrder(reordered, dims), nil
+	case lang.Add:
+		return rebuildBinary(x.L, x.R, env, func(l, r lang.Expr) lang.Expr { return lang.Add{L: l, R: r} })
+	case lang.Sub:
+		return rebuildBinary(x.L, x.R, env, func(l, r lang.Expr) lang.Expr { return lang.Sub{L: l, R: r} })
+	case lang.ElemMul:
+		return rebuildBinary(x.L, x.R, env, func(l, r lang.Expr) lang.Expr { return lang.ElemMul{L: l, R: r} })
+	case lang.ElemDiv:
+		return rebuildBinary(x.L, x.R, env, func(l, r lang.Expr) lang.Expr { return lang.ElemDiv{L: l, R: r} })
+	case lang.Scale:
+		inner, err := reorderChains(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Scale{S: x.S, X: inner}, nil
+	case lang.Apply:
+		inner, err := reorderChains(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Apply{Fn: x.Fn, X: inner}, nil
+	case lang.Mask:
+		pr, err := reorderChains(x.P, env)
+		if err != nil {
+			return nil, err
+		}
+		xr, err := reorderChains(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Mask{P: pr, X: xr}, nil
+	default:
+		return nil, fmt.Errorf("plan: reorderChains: unknown node %T", e)
+	}
+}
+
+func rebuildBinary(l, r lang.Expr, env map[string]lang.Shape, mk func(l, r lang.Expr) lang.Expr) (lang.Expr, error) {
+	lr, err := reorderChains(l, env)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := reorderChains(r, env)
+	if err != nil {
+		return nil, err
+	}
+	return mk(lr, rr), nil
+}
+
+// collectFactors flattens the multiplication spine of e into its ordered
+// factor list: MatMul(MatMul(A,B),C) and MatMul(A,MatMul(B,C)) both yield
+// [A B C]. Non-MatMul nodes stop the descent.
+func collectFactors(e lang.Expr) []lang.Expr {
+	if mm, ok := e.(lang.MatMul); ok {
+		return append(collectFactors(mm.L), collectFactors(mm.R)...)
+	}
+	return []lang.Expr{e}
+}
+
+// chainOrder builds the optimal product tree over factors with boundary
+// dimensions dims (len(factors)+1 entries, factor i is dims[i] x dims[i+1])
+// using the O(n^3) matrix-chain dynamic program on 2·m·k·n flop costs.
+func chainOrder(factors []lang.Expr, dims []int) lang.Expr {
+	n := len(factors)
+	if n == 1 {
+		return factors[0]
+	}
+	cost := make([][]float64, n)
+	split := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		split[i] = make([]int, n)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			cost[i][j] = math.Inf(1)
+			for k := i; k < j; k++ {
+				c := cost[i][k] + cost[k+1][j] +
+					2*float64(dims[i])*float64(dims[k+1])*float64(dims[j+1])
+				if c < cost[i][j] {
+					cost[i][j] = c
+					split[i][j] = k
+				}
+			}
+		}
+	}
+	var build func(i, j int) lang.Expr
+	build = func(i, j int) lang.Expr {
+		if i == j {
+			return factors[i]
+		}
+		k := split[i][j]
+		return lang.MatMul{L: build(i, k), R: build(k+1, j)}
+	}
+	return build(0, n-1)
+}
+
+// ChainFlops returns the flop cost of evaluating all matrix products in e
+// as parenthesized, given variable shapes. It is used by tests to verify
+// that reordering never increases cost, and by the experiment harness to
+// report logical work.
+func ChainFlops(e lang.Expr, env map[string]lang.Shape) (int64, error) {
+	var total int64
+	var walk func(x lang.Expr) (lang.Shape, error)
+	walk = func(x lang.Expr) (lang.Shape, error) {
+		switch n := x.(type) {
+		case lang.MatMul:
+			l, err := walk(n.L)
+			if err != nil {
+				return lang.Shape{}, err
+			}
+			r, err := walk(n.R)
+			if err != nil {
+				return lang.Shape{}, err
+			}
+			total += 2 * int64(l.Rows) * int64(l.Cols) * int64(r.Cols)
+			return lang.Shape{Rows: l.Rows, Cols: r.Cols}, nil
+		case lang.Transpose:
+			s, err := walk(n.X)
+			if err != nil {
+				return lang.Shape{}, err
+			}
+			return lang.Shape{Rows: s.Cols, Cols: s.Rows}, nil
+		case lang.Scale:
+			return walk(n.X)
+		case lang.Apply:
+			return walk(n.X)
+		case lang.Add:
+			if _, err := walk(n.L); err != nil {
+				return lang.Shape{}, err
+			}
+			return walk(n.R)
+		case lang.Sub:
+			if _, err := walk(n.L); err != nil {
+				return lang.Shape{}, err
+			}
+			return walk(n.R)
+		case lang.ElemMul:
+			if _, err := walk(n.L); err != nil {
+				return lang.Shape{}, err
+			}
+			return walk(n.R)
+		case lang.ElemDiv:
+			if _, err := walk(n.L); err != nil {
+				return lang.Shape{}, err
+			}
+			return walk(n.R)
+		case lang.Mask:
+			if _, err := walk(n.P); err != nil {
+				return lang.Shape{}, err
+			}
+			return walk(n.X)
+		case lang.Var:
+			sh, ok := env[n.Name]
+			if !ok {
+				return lang.Shape{}, fmt.Errorf("plan: unknown variable %s", n.Name)
+			}
+			return sh, nil
+		default:
+			return lang.Shape{}, fmt.Errorf("plan: ChainFlops: unknown node %T", x)
+		}
+	}
+	if _, err := walk(e); err != nil {
+		return 0, err
+	}
+	return total, nil
+}

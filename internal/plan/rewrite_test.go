@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"testing"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/testutil"
+)
+
+func shapes(pairs ...interface{}) map[string]lang.Shape {
+	env := map[string]lang.Shape{}
+	for i := 0; i < len(pairs); i += 2 {
+		env[pairs[i].(string)] = pairs[i+1].(lang.Shape)
+	}
+	return env
+}
+
+func mustParse(t *testing.T, src string) lang.Expr {
+	t.Helper()
+	e, err := lang.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPushTransposeOverMatMul(t *testing.T) {
+	env := shapes("A", lang.Shape{Rows: 3, Cols: 4}, "B", lang.Shape{Rows: 4, Cols: 5})
+	e := mustParse(t, "(A * B)'")
+	got, err := Rewrite(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (AB)ᵀ -> Bᵀ Aᵀ with transposes on variables only.
+	if got.String() != "(B' * A')" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestPushTransposeDoubleCancels(t *testing.T) {
+	env := shapes("A", lang.Shape{Rows: 3, Cols: 4})
+	got, err := Rewrite(mustParse(t, "A''"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "A" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestPushTransposeThroughElementwise(t *testing.T) {
+	env := shapes("A", lang.Shape{Rows: 3, Cols: 4}, "B", lang.Shape{Rows: 3, Cols: 4})
+	got, err := Rewrite(mustParse(t, "(A .* B)'"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "(A' .* B')" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestFoldScale(t *testing.T) {
+	env := shapes("A", lang.Shape{Rows: 2, Cols: 2})
+	got, err := Rewrite(mustParse(t, "2 * (3 * A)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := got.(lang.Scale)
+	if !ok || sc.S != 6 {
+		t.Fatalf("got %s", got)
+	}
+	if _, ok := sc.X.(lang.Var); !ok {
+		t.Fatalf("inner not folded: %s", got)
+	}
+}
+
+func TestChainReorderPicksCheapOrder(t *testing.T) {
+	// A: 100x2, B: 2x100, C: 100x1. (AB)C costs 2*100*2*100 + 2*100*100*1
+	// = 60000; A(BC) costs 2*2*100*1 + 2*100*2*1 = 800.
+	env := shapes(
+		"A", lang.Shape{Rows: 100, Cols: 2},
+		"B", lang.Shape{Rows: 2, Cols: 100},
+		"C", lang.Shape{Rows: 100, Cols: 1},
+	)
+	got, err := Rewrite(mustParse(t, "A * B * C"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "(A * (B * C))" {
+		t.Fatalf("got %s", got)
+	}
+	before, _ := ChainFlops(mustParse(t, "A * B * C"), env)
+	after, _ := ChainFlops(got, env)
+	if after >= before {
+		t.Fatalf("reorder did not reduce flops: %d -> %d", before, after)
+	}
+}
+
+func TestChainReorderCrossesTransposes(t *testing.T) {
+	// (A*B)' * C contains a transpose above a product: pushdown first
+	// exposes the chain B' * A' * C for reordering.
+	env := shapes(
+		"A", lang.Shape{Rows: 2, Cols: 50},
+		"B", lang.Shape{Rows: 50, Cols: 50},
+		"C", lang.Shape{Rows: 2, Cols: 1},
+	)
+	got, err := Rewrite(mustParse(t, "(A * B)' * C"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: B' * (A' * C): 2*50*2*1 + 2*50*50*1 = 5200 flops, versus
+	// (B'*A')*C = 2*50*50*2 + 2*50*2*1 = 10200.
+	if got.String() != "(B' * (A' * C))" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+// Property: rewriting never changes the value of the expression.
+func TestRewritePreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := testutil.NewGen(seed)
+		env := g.Env()
+		e := g.Expr(testutil.Dims[0], testutil.Dims[1], 4)
+		re, err := Rewrite(e, env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		data := g.InputData(seed * 7)
+		want, err := lang.Eval(e, data)
+		if err != nil {
+			t.Fatalf("seed %d eval original: %v", seed, err)
+		}
+		got, err := lang.Eval(re, data)
+		if err != nil {
+			t.Fatalf("seed %d eval rewritten: %v", seed, err)
+		}
+		if !got.AlmostEqual(want, 1e-9) {
+			t.Fatalf("seed %d: rewrite changed value of %s -> %s (maxdiff %g)",
+				seed, e, re, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+// Property: rewriting never increases product flops.
+func TestRewriteNeverIncreasesFlops(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		g := testutil.NewGen(seed)
+		env := g.Env()
+		e := g.Expr(testutil.Dims[2], testutil.Dims[0], 4)
+		re, err := Rewrite(e, env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		before, err := ChainFlops(pushTranspose(e, false), env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, err := ChainFlops(re, env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if after > before {
+			t.Fatalf("seed %d: flops increased %d -> %d (%s -> %s)", seed, before, after, e, re)
+		}
+	}
+}
+
+// Property: after rewriting, every Transpose node wraps a Var.
+func TestRewriteNormalFormTransposes(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		g := testutil.NewGen(seed)
+		e := g.Expr(testutil.Dims[1], testutil.Dims[1], 4)
+		re, err := Rewrite(e, g.Env())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lang.Walk(re, func(n lang.Expr) {
+			if tr, ok := n.(lang.Transpose); ok {
+				if _, ok := tr.X.(lang.Var); !ok {
+					t.Fatalf("seed %d: transpose above non-var in %s", seed, re)
+				}
+			}
+		})
+	}
+}

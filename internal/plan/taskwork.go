@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"cumulon/internal/lang"
+	"cumulon/internal/store"
+)
+
+// TaskWork is the exact work profile of one task under a job's split,
+// mirroring what the execution engine will account when it runs the task:
+// flops (core product, prologue and epilogue operators), bytes read
+// (leaf tiles, deduplicated per task), and bytes written.
+type TaskWork struct {
+	Flops      int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// TaskProfiles enumerates the per-phase, per-task work of a job under its
+// current split, in the same task order the engine constructs. The
+// simulator schedules these profiles to predict job time; because chunk
+// sizes are uneven when splits do not divide the tile grid, per-task
+// profiles capture the makespan effects that averaged statistics miss.
+func TaskProfiles(j *Job) [][]TaskWork {
+	switch j.Kind {
+	case MulKind:
+		return mulTaskProfiles(j)
+	default:
+		return [][]TaskWork{mapTaskProfiles(j)}
+	}
+}
+
+type tileSpan struct{ lo, hi int }
+
+func spansOf(n, parts int) []tileSpan {
+	if parts > n {
+		parts = n
+	}
+	out := make([]tileSpan, 0, parts)
+	for p := 0; p < parts; p++ {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		if hi > lo {
+			out = append(out, tileSpan{lo, hi})
+		}
+	}
+	return out
+}
+
+// extent returns the element extent of a tile span along an axis of
+// `size` elements.
+func extent(s tileSpan, size, tileSize int) int64 {
+	lo := s.lo * tileSize
+	hi := s.hi * tileSize
+	if hi > size {
+		hi = size
+	}
+	if hi < lo {
+		return 0
+	}
+	return int64(hi - lo)
+}
+
+// regionBytes computes the stored size of the tiles of meta in the given
+// logical row/column tile spans in closed form (the optimizer evaluates
+// this for thousands of split candidates); transposed leaves read the
+// mirrored region of the underlying matrix. For dense matrices the result
+// is exact; for sparse ones it matches the engine's density estimate up
+// to per-tile rounding.
+func regionBytes(ref LeafRef, rows, cols tileSpan) int64 {
+	ri, rj := rows, cols
+	if ref.Transposed {
+		ri, rj = cols, rows
+	}
+	m := ref.Meta
+	extR := extent(ri, m.Rows, m.TileSize)
+	extC := extent(rj, m.Cols, m.TileSize)
+	nTiles := int64(ri.hi-ri.lo) * int64(rj.hi-rj.lo)
+	if m.Sparse {
+		nnz := int64(m.EffDensity() * float64(extR) * float64(extC))
+		// CSR: 12 bytes per nonzero, row pointers per tile row, 20-byte
+		// header+checksum per tile.
+		return nnz*12 + (extR*int64(rj.hi-rj.lo)+nTiles)*4 + 20*nTiles
+	}
+	return extR*extC*8 + 16*nTiles
+}
+
+// exprRegionBytes sums regionBytes over the distinct leaves of expr.
+func exprRegionBytes(expr lang.Expr, leaves map[string]LeafRef, rows, cols tileSpan) int64 {
+	var n int64
+	for _, name := range lang.FreeVars(expr) {
+		if name == MMVar {
+			continue
+		}
+		if ref, ok := leaves[name]; ok {
+			n += regionBytes(ref, rows, cols)
+		}
+	}
+	return n
+}
+
+// outRegionBytes computes the stored size of the output tiles in a chunk
+// (density-scaled when the output is sparse, e.g. masked multiplies).
+func outRegionBytes(meta store.Meta, rows, cols tileSpan) int64 {
+	return regionBytes(LeafRef{Meta: meta}, rows, cols)
+}
+
+func mapTaskProfiles(j *Job) []TaskWork {
+	iSpans := spansOf(j.ITiles(), j.Split.CI)
+	jSpans := spansOf(j.JTiles(), j.Split.CJ)
+	ops := int64(countOps(j.Expr))
+	var tasks []TaskWork
+	for _, is := range iSpans {
+		for _, js := range jSpans {
+			extI := extent(is, j.Out.Rows, j.Out.TileSize)
+			extJ := extent(js, j.Out.Cols, j.Out.TileSize)
+			tasks = append(tasks, TaskWork{
+				Flops:      ops * extI * extJ,
+				ReadBytes:  exprRegionBytes(j.Expr, j.Leaves, is, js),
+				WriteBytes: outRegionBytes(j.Out, is, js),
+			})
+		}
+	}
+	return tasks
+}
+
+func mulTaskProfiles(j *Job) [][]TaskWork {
+	iSpans := spansOf(j.ITiles(), j.Split.CI)
+	jSpans := spansOf(j.JTiles(), j.Split.CJ)
+	kSpans := spansOf(j.KTiles(), j.Split.CK)
+	singleK := len(kSpans) == 1
+	ts := j.Out.TileSize
+
+	density := 1.0
+	if ref, ok := bareLeaf(j.LExpr, j.Leaves); ok && ref.Meta.Sparse {
+		density = ref.Meta.EffDensity()
+	}
+	// A masked multiply only computes at the pattern's stored positions.
+	maskRef, masked := j.Leaves[j.MaskLeaf]
+	if masked {
+		density = maskRef.Meta.EffDensity()
+	}
+	lOps, rOps := int64(countOps(j.LExpr)), int64(countOps(j.RExpr))
+	var epiOps int64
+	if j.Epilogue != nil {
+		epiOps = int64(countOps(j.Epilogue))
+	}
+
+	var phase1 []TaskWork
+	for _, is := range iSpans {
+		for _, js := range jSpans {
+			for _, ks := range kSpans {
+				extI := extent(is, j.Out.Rows, ts)
+				extJ := extent(js, j.Out.Cols, ts)
+				extK := extent(ks, j.KSize, ts)
+				tilesI := int64(is.hi - is.lo)
+				tilesJ := int64(js.hi - js.lo)
+				w := TaskWork{}
+				w.Flops = int64(2*density*float64(extI)*float64(extK)*float64(extJ)) +
+					lOps*extI*extK*tilesJ + rOps*extK*extJ*tilesI
+				w.ReadBytes = exprRegionBytes(j.LExpr, j.Leaves, is, ks) +
+					exprRegionBytes(j.RExpr, j.Leaves, ks, js)
+				if masked {
+					w.ReadBytes += regionBytes(maskRef, is, js)
+				}
+				if singleK {
+					w.Flops += epiOps * extI * extJ
+					if j.Epilogue != nil {
+						w.ReadBytes += exprRegionBytes(j.Epilogue, j.Leaves, is, js)
+					}
+					w.WriteBytes = outRegionBytes(j.Out, is, js)
+				} else {
+					// Partials are dense regardless of the output estimate.
+					w.WriteBytes = extI*extJ*8 + 16*int64(is.hi-is.lo)*int64(js.hi-js.lo)
+				}
+				phase1 = append(phase1, w)
+			}
+		}
+	}
+	if singleK {
+		return [][]TaskWork{phase1}
+	}
+	ck := int64(len(kSpans))
+	var phase2 []TaskWork
+	for _, is := range iSpans {
+		for _, js := range jSpans {
+			extI := extent(is, j.Out.Rows, ts)
+			extJ := extent(js, j.Out.Cols, ts)
+			partialChunk := extI*extJ*8 + 16*int64(is.hi-is.lo)*int64(js.hi-js.lo)
+			w := TaskWork{
+				Flops:      (ck-1)*extI*extJ + epiOps*extI*extJ,
+				ReadBytes:  ck * partialChunk,
+				WriteBytes: outRegionBytes(j.Out, is, js),
+			}
+			if j.Epilogue != nil {
+				w.ReadBytes += exprRegionBytes(j.Epilogue, j.Leaves, is, js)
+			}
+			phase2 = append(phase2, w)
+		}
+	}
+	return [][]TaskWork{phase1, phase2}
+}

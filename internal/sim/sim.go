@@ -1,0 +1,235 @@
+// Package sim predicts the completion time of a physical plan on a
+// hypothetical deployment, using the fitted task-time models of package
+// model and a deterministic simulation of Cumulon's slot scheduler. The
+// optimizer calls it thousands of times per search, so prediction must be
+// cheap: per-job work comes from the planner's closed-form estimates
+// (plan.EstimateJob), locality from the replication geometry, and phase
+// times from wave-based scheduling.
+package sim
+
+import (
+	"math"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/model"
+	"cumulon/internal/plan"
+)
+
+// Predictor predicts job and plan times for one concrete deployment.
+type Predictor struct {
+	Model       *model.TaskModel
+	Cluster     cloud.Cluster
+	Replication int     // DFS replication factor (default 3)
+	JobStartup  float64 // per-job overhead, must match the engine's
+	// Coarse switches phase-time estimation from exact greedy list
+	// scheduling to the wave approximation. The optimizer's split sweeps
+	// use coarse mode (thousands of evaluations); final reporting uses
+	// exact mode.
+	Coarse bool
+}
+
+// New constructs a predictor with engine-matching defaults.
+func New(m *model.TaskModel, cluster cloud.Cluster) *Predictor {
+	return &Predictor{Model: m, Cluster: cluster, Replication: 3, JobStartup: 6}
+}
+
+func (p *Predictor) replication() int {
+	r := p.Replication
+	if r <= 0 {
+		r = 3
+	}
+	if r > p.Cluster.Nodes {
+		r = p.Cluster.Nodes
+	}
+	return r
+}
+
+// localFraction estimates how much of a task's read bytes are served from
+// a local replica: each block has R replicas over n nodes, plus a small
+// bonus for the scheduler's locality preference on the task's first input.
+func (p *Predictor) localFraction() float64 {
+	n := float64(p.Cluster.Nodes)
+	r := float64(p.replication())
+	f := r/n + 0.1
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// TaskSeconds predicts one task's duration from its exact work profile.
+func (p *Predictor) TaskSeconds(w plan.TaskWork) float64 {
+	repl := int64(p.replication())
+	lf := p.localFraction()
+	local := int64(float64(w.ReadBytes) * lf)
+	remote := w.ReadBytes - local
+	disk := local + w.WriteBytes
+	net := remote + w.WriteBytes*(repl-1)
+	return p.Model.Predict(w.Flops, disk, net)
+}
+
+// PredictJob returns the predicted wall-clock seconds of one job under its
+// current split, including job startup. Each phase is list-scheduled
+// task-by-task over the cluster's slots — the same greedy discipline the
+// engine uses — so uneven chunk sizes and partial waves are captured.
+func (p *Predictor) PredictJob(j *plan.Job) float64 {
+	total := p.JobStartup
+	slots := p.Cluster.TotalSlots()
+	for _, phase := range plan.TaskProfiles(j) {
+		if p.Coarse {
+			total += p.coarsePhase(phase, slots)
+			continue
+		}
+		free := make([]float64, slots)
+		end := 0.0
+		for _, w := range phase {
+			// Earliest-free slot.
+			best := 0
+			for i := 1; i < slots; i++ {
+				if free[i] < free[best] {
+					best = i
+				}
+			}
+			free[best] += p.TaskSeconds(w)
+			if free[best] > end {
+				end = free[best]
+			}
+		}
+		total += end
+	}
+	return total
+}
+
+// coarsePhase approximates a phase's makespan as full waves of the mean
+// task duration, bounded below by the longest task.
+func (p *Predictor) coarsePhase(phase []plan.TaskWork, slots int) float64 {
+	var total, maxDur float64
+	for _, w := range phase {
+		d := p.TaskSeconds(w)
+		total += d
+		if d > maxDur {
+			maxDur = d
+		}
+	}
+	n := len(phase)
+	if n == 0 {
+		return 0
+	}
+	waves := math.Ceil(float64(n) / float64(slots))
+	t := waves * total / float64(n)
+	if t < maxDur {
+		t = maxDur
+	}
+	return t
+}
+
+// PredictPlan returns the predicted end-to-end seconds of the plan: jobs
+// execute sequentially in dependency order, as in the engine.
+func (p *Predictor) PredictPlan(pl *plan.Plan) float64 {
+	var total float64
+	for _, j := range pl.Jobs {
+		total += p.PredictJob(j)
+	}
+	return total
+}
+
+// PredictPlanOverlap predicts the plan under the engine's OverlapJobs
+// mode: a job is released as soon as its dependencies finish and its
+// tasks share the persistent slot pool with everything already running —
+// the same greedy discipline the engine uses.
+func (p *Predictor) PredictPlanOverlap(pl *plan.Plan) float64 {
+	slots := make([]float64, p.Cluster.TotalSlots())
+	jobEnds := map[int]float64{}
+	makespan := 0.0
+	for _, j := range pl.Jobs {
+		ready := 0.0
+		for _, d := range j.Deps {
+			if jobEnds[d] > ready {
+				ready = jobEnds[d]
+			}
+		}
+		clock := ready + p.JobStartup
+		for _, phase := range plan.TaskProfiles(j) {
+			end := clock
+			for _, w := range phase {
+				best := 0
+				avail := func(i int) float64 {
+					if slots[i] < clock {
+						return clock
+					}
+					return slots[i]
+				}
+				for i := 1; i < len(slots); i++ {
+					if avail(i) < avail(best) {
+						best = i
+					}
+				}
+				start := avail(best)
+				slots[best] = start + p.TaskSeconds(w)
+				if slots[best] > end {
+					end = slots[best]
+				}
+			}
+			clock = end
+		}
+		jobEnds[j.ID] = clock
+		if clock > makespan {
+			makespan = clock
+		}
+	}
+	return makespan
+}
+
+// BestSplit sweeps the split candidates of a job and returns the one with
+// the lowest predicted time whose estimated per-task memory fits in
+// memBytesPerSlot (0 disables the memory constraint). The job's split is
+// left untouched; callers assign the result.
+func (p *Predictor) BestSplit(j *plan.Job, memBytesPerSlot int64) (plan.Split, float64) {
+	old := j.Split
+	defer func() { j.Split = old }()
+
+	maxTasks := 8 * p.Cluster.TotalSlots()
+	if maxTasks > 4096 {
+		maxTasks = 4096
+	}
+	cands := plan.SplitCandidates(j, maxTasks)
+	best := plan.Split{}
+	bestTime := math.Inf(1)
+	bestMem := int64(math.MaxInt64)
+	var fallback plan.Split
+	for _, s := range cands {
+		j.Split = s
+		mem := plan.EstTaskMemBytes(j)
+		if mem < bestMem {
+			bestMem = mem
+			fallback = s
+		}
+		if memBytesPerSlot > 0 && mem > memBytesPerSlot {
+			continue
+		}
+		t := p.PredictJob(j)
+		if t < bestTime {
+			bestTime = t
+			best = s
+		}
+	}
+	if math.IsInf(bestTime, 1) {
+		// Nothing fits the memory bound: take the smallest-footprint
+		// split (the engine will still run; the model flags the risk).
+		j.Split = fallback
+		return fallback, p.PredictJob(j)
+	}
+	return best, bestTime
+}
+
+// OptimizeSplits assigns the best predicted split to every job and
+// returns the plan's predicted total seconds.
+func (p *Predictor) OptimizeSplits(pl *plan.Plan, memBytesPerSlot int64) float64 {
+	var total float64
+	for _, j := range pl.Jobs {
+		s, t := p.BestSplit(j, memBytesPerSlot)
+		j.Split = s
+		total += t
+	}
+	return total
+}

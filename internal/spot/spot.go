@@ -1,0 +1,241 @@
+// Package spot implements the paper's stated follow-on direction:
+// deploying Cumulon workloads on market-priced (spot) instances, where
+// capacity is rented by bidding against a fluctuating price and the
+// cluster is evicted whenever the market rises above the bid.
+//
+// The model:
+//
+//   - a seeded mean-reverting price process with occasional spikes
+//     generates spot-price traces for a machine type (prices hover well
+//     below the on-demand price, as in real markets, but spike above it);
+//   - a program runs as its sequence of jobs; job boundaries are natural
+//     checkpoints because Cumulon materializes every job's output (the
+//     simulation assumes tile storage survives eviction, i.e. the DFS is
+//     backed by durable storage rather than instance-local disk);
+//   - on eviction, progress inside the running job is lost; execution
+//     resumes from the last completed job once the price falls back below
+//     the bid;
+//   - cost accrues at the spot price while running (per-second integral,
+//     the granularity later spot markets adopted).
+//
+// A Monte Carlo estimator turns this into expected cost, expected
+// completion time and deadline-hit probability as functions of the bid —
+// the inputs a bid optimizer needs.
+package spot
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Market parameterizes the spot price process for one machine type.
+type Market struct {
+	// OnDemand is the fixed on-demand price per hour (the bid ceiling
+	// that always wins).
+	OnDemand float64
+	// Mean is the long-run average spot price per hour (typically
+	// 25-40% of on-demand).
+	Mean float64
+	// Vol is the per-step relative volatility of the process.
+	Vol float64
+	// SpikeProb is the per-step probability of a demand spike that
+	// pushes the price above on-demand.
+	SpikeProb float64
+	// SpikeMul scales the spike height relative to on-demand.
+	SpikeMul float64
+	// StepSec is the price-change granularity in seconds.
+	StepSec float64
+}
+
+// DefaultMarket returns a market calibrated to the given on-demand price
+// with typical 2013-era spot statistics.
+func DefaultMarket(onDemand float64) Market {
+	return Market{
+		OnDemand:  onDemand,
+		Mean:      0.35 * onDemand,
+		Vol:       0.08,
+		SpikeProb: 0.004,
+		SpikeMul:  1.5,
+		StepSec:   60,
+	}
+}
+
+// Validate checks market parameters.
+func (m Market) Validate() error {
+	if m.OnDemand <= 0 || m.Mean <= 0 || m.StepSec <= 0 {
+		return fmt.Errorf("spot: market needs positive prices and step, got %+v", m)
+	}
+	if m.Mean > m.OnDemand {
+		return fmt.Errorf("spot: mean spot price %v above on-demand %v", m.Mean, m.OnDemand)
+	}
+	return nil
+}
+
+// Trace generates a price trace covering durationSec seconds (one entry
+// per step), deterministically from seed.
+func (m Market) Trace(durationSec float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	steps := int(math.Ceil(durationSec/m.StepSec)) + 1
+	out := make([]float64, steps)
+	price := m.Mean
+	spikeLeft := 0
+	for i := range out {
+		if spikeLeft > 0 {
+			spikeLeft--
+		} else if rng.Float64() < m.SpikeProb {
+			// Spikes last a few steps.
+			spikeLeft = 3 + rng.Intn(10)
+		}
+		// Mean reversion plus noise.
+		price += 0.2*(m.Mean-price) + m.Vol*m.Mean*rng.NormFloat64()
+		floor := 0.1 * m.Mean
+		if price < floor {
+			price = floor
+		}
+		p := price
+		if spikeLeft > 0 {
+			p = m.OnDemand * m.SpikeMul * (1 + 0.2*rng.Float64())
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Outcome is the result of one simulated spot execution.
+type Outcome struct {
+	Finished   bool
+	TotalSec   float64 // wall-clock until finish (or horizon)
+	Cost       float64 // dollars accrued
+	Evictions  int
+	WastedSec  float64 // compute time lost to evictions
+	JobsRun    int     // job executions including re-runs
+	JobsNeeded int
+}
+
+// Simulate runs one program execution under a price trace: jobDurations
+// are the per-job wall-clock seconds (from engine metrics or the
+// simulator), nodes the cluster size, bid the per-instance-hour bid, and
+// horizonSec the give-up time.
+func Simulate(jobDurations []float64, nodes int, market Market, bid float64, seed int64, horizonSec float64) Outcome {
+	trace := market.Trace(horizonSec, seed)
+	step := market.StepSec
+	priceAt := func(t float64) float64 {
+		i := int(t / step)
+		if i >= len(trace) {
+			i = len(trace) - 1
+		}
+		return trace[i]
+	}
+	out := Outcome{JobsNeeded: len(jobDurations)}
+	t := 0.0
+	job := 0
+	for job < len(jobDurations) && t < horizonSec {
+		if priceAt(t) > bid {
+			// Wait (free) until the market drops below the bid.
+			t += step
+			continue
+		}
+		// Run the job, paying spot price per step; evict if the price
+		// crosses the bid mid-job.
+		need := jobDurations[job]
+		ran := 0.0
+		evicted := false
+		for ran < need && t < horizonSec {
+			p := priceAt(t)
+			if p > bid {
+				evicted = true
+				break
+			}
+			dt := math.Min(step, need-ran)
+			out.Cost += float64(nodes) * p * dt / 3600
+			ran += dt
+			t += dt
+		}
+		if evicted {
+			out.Evictions++
+			out.WastedSec += ran
+			out.JobsRun++
+			continue // retry the same job
+		}
+		if ran >= need {
+			out.JobsRun++
+			job++
+		}
+	}
+	out.Finished = job >= len(jobDurations)
+	out.TotalSec = t
+	return out
+}
+
+// Estimate aggregates Monte Carlo simulations.
+type Estimate struct {
+	Bid          float64
+	ExpectedCost float64
+	ExpectedSec  float64 // over finished runs
+	FinishProb   float64
+	MeanEvicts   float64
+}
+
+// MonteCarlo estimates the outcome distribution for a bid over n trials.
+func MonteCarlo(jobDurations []float64, nodes int, market Market, bid float64, n int, seed int64, horizonSec float64) Estimate {
+	if n <= 0 {
+		n = 1
+	}
+	est := Estimate{Bid: bid}
+	finished := 0
+	var finSec float64
+	for i := 0; i < n; i++ {
+		o := Simulate(jobDurations, nodes, market, bid, seed+int64(i)*7919, horizonSec)
+		est.ExpectedCost += o.Cost
+		est.MeanEvicts += float64(o.Evictions)
+		if o.Finished {
+			finished++
+			finSec += o.TotalSec
+		}
+	}
+	est.ExpectedCost /= float64(n)
+	est.MeanEvicts /= float64(n)
+	est.FinishProb = float64(finished) / float64(n)
+	if finished > 0 {
+		est.ExpectedSec = finSec / float64(finished)
+	} else {
+		est.ExpectedSec = math.Inf(1)
+	}
+	return est
+}
+
+// OptimizeBid sweeps candidate bids and returns the estimate with the
+// lowest expected cost among those meeting the target finish probability
+// within the horizon, plus the full sweep for reporting. If no bid meets
+// the target, the highest-probability bid is returned with ok=false.
+func OptimizeBid(jobDurations []float64, nodes int, market Market, trials int, seed int64, horizonSec, targetProb float64) (best Estimate, ok bool, sweep []Estimate) {
+	bids := []float64{
+		0.5 * market.Mean,
+		market.Mean,
+		1.5 * market.Mean,
+		2 * market.Mean,
+		0.8 * market.OnDemand,
+		market.OnDemand,
+		1.5 * market.OnDemand,
+		2.5 * market.OnDemand,
+	}
+	var fallback Estimate
+	found := false
+	for _, b := range bids {
+		e := MonteCarlo(jobDurations, nodes, market, b, trials, seed, horizonSec)
+		sweep = append(sweep, e)
+		if e.FinishProb > fallback.FinishProb ||
+			(e.FinishProb == fallback.FinishProb && e.ExpectedCost < fallback.ExpectedCost) {
+			fallback = e
+		}
+		if e.FinishProb >= targetProb && (!found || e.ExpectedCost < best.ExpectedCost) {
+			best = e
+			found = true
+		}
+	}
+	if !found {
+		return fallback, false, sweep
+	}
+	return best, true, sweep
+}

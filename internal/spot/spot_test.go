@@ -1,0 +1,153 @@
+package spot
+
+import (
+	"math"
+	"testing"
+)
+
+func market() Market { return DefaultMarket(0.24) } // m1.large price
+
+var jobs = []float64{300, 600, 450, 900} // a 4-job program, 37.5 min total
+
+func TestMarketValidate(t *testing.T) {
+	if err := market().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := market()
+	bad.Mean = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mean above on-demand should be invalid")
+	}
+	if err := (Market{}).Validate(); err == nil {
+		t.Fatal("zero market should be invalid")
+	}
+}
+
+func TestTraceStatistics(t *testing.T) {
+	m := market()
+	trace := m.Trace(48*3600, 1)
+	var sum float64
+	below := 0
+	for _, p := range trace {
+		if p <= 0 {
+			t.Fatal("non-positive price")
+		}
+		sum += p
+		if p < m.OnDemand {
+			below++
+		}
+	}
+	mean := sum / float64(len(trace))
+	// The long-run average sits near the configured mean, well below
+	// on-demand; spikes make it a bit higher than Mean.
+	if mean < 0.5*m.Mean || mean > m.OnDemand {
+		t.Fatalf("trace mean %v implausible (mean %v, on-demand %v)", mean, m.Mean, m.OnDemand)
+	}
+	if frac := float64(below) / float64(len(trace)); frac < 0.8 {
+		t.Fatalf("only %v of the time below on-demand", frac)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	m := market()
+	a := m.Trace(3600, 42)
+	b := m.Trace(3600, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same trace")
+		}
+	}
+}
+
+func TestHighBidAlwaysFinishes(t *testing.T) {
+	// Bidding far above any spike means no evictions, and cost below
+	// on-demand (you pay the spot price, not your bid).
+	m := market()
+	o := Simulate(jobs, 8, m, 100*m.OnDemand, 3, 24*3600)
+	if !o.Finished {
+		t.Fatal("unbeatable bid did not finish")
+	}
+	if o.Evictions != 0 {
+		t.Fatalf("unbeatable bid evicted %d times", o.Evictions)
+	}
+	var total float64
+	for _, j := range jobs {
+		total += j
+	}
+	onDemandCost := 8 * m.OnDemand * total / 3600
+	if o.Cost >= onDemandCost {
+		t.Fatalf("spot cost %v above on-demand %v", o.Cost, onDemandCost)
+	}
+	if math.Abs(o.TotalSec-total) > 1 {
+		t.Fatalf("no-eviction runtime %v != %v", o.TotalSec, total)
+	}
+}
+
+func TestLowBidNeverRuns(t *testing.T) {
+	m := market()
+	o := Simulate(jobs, 8, m, 0.01*m.Mean, 3, 6*3600)
+	if o.Finished || o.Cost > 0 {
+		t.Fatalf("sub-floor bid should never run: %+v", o)
+	}
+}
+
+func TestMidBidEvictsAndRetries(t *testing.T) {
+	m := market()
+	// A bid just above the mean gets evicted by noise/spikes on long
+	// programs; aggregate over seeds to avoid flakiness.
+	longJobs := []float64{3600, 3600, 3600, 3600}
+	evictions := 0
+	for seed := int64(0); seed < 20; seed++ {
+		o := Simulate(longJobs, 4, m, m.Mean*1.1, seed, 96*3600)
+		evictions += o.Evictions
+		if o.Finished && o.JobsRun < o.JobsNeeded {
+			t.Fatal("finished with fewer job runs than jobs")
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("a marginal bid never got evicted across 20 traces")
+	}
+}
+
+func TestMonteCarloMonotoneInBid(t *testing.T) {
+	m := market()
+	lo := MonteCarlo(jobs, 8, m, m.Mean*1.05, 40, 9, 12*3600)
+	hi := MonteCarlo(jobs, 8, m, 3*m.OnDemand, 40, 9, 12*3600)
+	if hi.FinishProb < lo.FinishProb {
+		t.Fatalf("higher bid lowered finish probability: %v vs %v", hi.FinishProb, lo.FinishProb)
+	}
+	if hi.FinishProb < 0.99 {
+		t.Fatalf("unbeatable bid should almost surely finish: %v", hi.FinishProb)
+	}
+}
+
+func TestOptimizeBid(t *testing.T) {
+	m := market()
+	best, ok, sweep := OptimizeBid(jobs, 8, m, 30, 5, 12*3600, 0.9)
+	if !ok {
+		t.Fatalf("no bid met the target: %+v", sweep)
+	}
+	if best.FinishProb < 0.9 {
+		t.Fatalf("best bid misses target: %+v", best)
+	}
+	var total float64
+	for _, j := range jobs {
+		total += j
+	}
+	onDemandCost := 8 * m.OnDemand * total / 3600
+	if best.ExpectedCost >= onDemandCost {
+		t.Fatalf("spot expected cost %v not below on-demand %v", best.ExpectedCost, onDemandCost)
+	}
+	if len(sweep) < 5 {
+		t.Fatalf("sweep too small: %d", len(sweep))
+	}
+}
+
+func TestOptimizeBidImpossibleTarget(t *testing.T) {
+	m := market()
+	// A one-minute horizon for 37 minutes of work: nothing can finish.
+	_, ok, _ := OptimizeBid(jobs, 8, m, 10, 5, 60, 0.9)
+	if ok {
+		t.Fatal("impossible target reported as met")
+	}
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cumulon/internal/linalg"
+)
+
+// This file holds the storage extensions around the core tile codec:
+// optional gzip compression of tile payloads (Cumulon compresses tiles at
+// rest; statistical matrices are often highly compressible) and CSV
+// ingest/export for getting data in and out of the system.
+
+const magicGzip = 0x43544c5a // "CTLZ"
+
+// CompressTile wraps an encoded tile (dense or sparse) in a gzip
+// container. Decoders auto-detect the container by magic.
+func CompressTile(encoded []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], magicGzip)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(encoded)))
+	buf.Write(hdr)
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(encoded); err != nil {
+		return nil, fmt.Errorf("store: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("store: compress: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MaybeDecompressTile unwraps a gzip tile container; non-compressed data
+// passes through untouched.
+func MaybeDecompressTile(raw []byte) ([]byte, error) {
+	if len(raw) < 8 || binary.LittleEndian.Uint32(raw[0:]) != magicGzip {
+		return raw, nil
+	}
+	want := int(binary.LittleEndian.Uint32(raw[4:]))
+	zr, err := gzip.NewReader(bytes.NewReader(raw[8:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad gzip container: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip payload: %v", ErrCorrupt, err)
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("%w: decompressed %d bytes, header says %d", ErrCorrupt, len(out), want)
+	}
+	return out, nil
+}
+
+// WriteTileCompressed stores one dense tile gzip-compressed.
+func (s *Store) WriteTileCompressed(m Meta, ti, tj int, t *linalg.Tile, node int) error {
+	raw, err := CompressTile(EncodeTile(t))
+	if err != nil {
+		return err
+	}
+	return s.FS.Write(m.TilePath(ti, tj), raw, node)
+}
+
+// ReadTileAuto reads a dense tile, transparently decompressing gzip
+// containers written by WriteTileCompressed.
+func (s *Store) ReadTileAuto(m Meta, ti, tj int, node int) (*linalg.Tile, error) {
+	raw, err := s.FS.Read(m.TilePath(ti, tj), node)
+	if err != nil {
+		return nil, err
+	}
+	raw, err = MaybeDecompressTile(raw)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTile(raw)
+}
+
+// ImportCSV ingests a matrix from CSV text (one row per line, comma
+// separated), validating the declared shape, and stores it tile by tile.
+func (s *Store) ImportCSV(m Meta, r io.Reader, node int) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = m.Cols
+	d := linalg.NewDense(m.Rows, m.Cols)
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: csv row %d: %w", row+1, err)
+		}
+		if row >= m.Rows {
+			return fmt.Errorf("store: csv has more than %d rows", m.Rows)
+		}
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return fmt.Errorf("store: csv row %d col %d: %w", row+1, j+1, err)
+			}
+			d.Set(row, j, v)
+		}
+		row++
+	}
+	if row != m.Rows {
+		return fmt.Errorf("store: csv has %d rows, declared %d", row, m.Rows)
+	}
+	return s.SaveDense(m, d, node)
+}
+
+// ExportCSV writes the matrix as CSV text.
+func (s *Store) ExportCSV(m Meta, w io.Writer, node int) error {
+	d, err := s.LoadDense(m, node)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	rec := make([]string, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			rec[j] = strconv.FormatFloat(d.At(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

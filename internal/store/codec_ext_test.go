@@ -1,0 +1,149 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cumulon/internal/linalg"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tile := linalg.NewTile(1+rng.Intn(12), 1+rng.Intn(12))
+		for i := range tile.Data {
+			tile.Data[i] = rng.NormFloat64()
+		}
+		raw, err := CompressTile(EncodeTile(tile))
+		if err != nil {
+			return false
+		}
+		un, err := MaybeDecompressTile(raw)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTile(un)
+		return err == nil && got.Equal(tile)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressShrinksSparseData(t *testing.T) {
+	// A mostly-zero tile compresses dramatically.
+	tile := linalg.NewTile(64, 64)
+	tile.Set(3, 3, 1.5)
+	enc := EncodeTile(tile)
+	comp, err := CompressTile(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(enc)/4 {
+		t.Fatalf("compression too weak: %d -> %d bytes", len(enc), len(comp))
+	}
+}
+
+func TestMaybeDecompressPassThrough(t *testing.T) {
+	tile := linalg.NewTileFrom(2, 2, []float64{1, 2, 3, 4})
+	enc := EncodeTile(tile)
+	out, err := MaybeDecompressTile(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, enc) {
+		t.Fatal("uncompressed data should pass through unchanged")
+	}
+}
+
+func TestDecompressDetectsCorruption(t *testing.T) {
+	tile := linalg.NewTileFrom(4, 4, make([]float64, 16))
+	comp, err := CompressTile(EncodeTile(tile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp[10] ^= 0xFF
+	if _, err := MaybeDecompressTile(comp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCompressedTileStoreRoundTrip(t *testing.T) {
+	s := newStore(3)
+	m := Meta{Name: "Z", Rows: 8, Cols: 8, TileSize: 4}
+	tile := linalg.NewTileFrom(4, 4, make([]float64, 16))
+	tile.Set(0, 0, 42)
+	if err := s.WriteTileCompressed(m, 0, 0, tile, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadTileAuto(m, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tile) {
+		t.Fatal("compressed store round trip mismatch")
+	}
+	// ReadTileAuto also reads plain tiles.
+	if err := s.WriteTile(m, 1, 1, tile, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.ReadTileAuto(m, 1, 1, 0)
+	if err != nil || !got.Equal(tile) {
+		t.Fatalf("plain tile via auto reader: %v", err)
+	}
+}
+
+func TestImportExportCSV(t *testing.T) {
+	s := newStore(3)
+	m := Meta{Name: "C", Rows: 3, Cols: 4, TileSize: 2}
+	csvText := "1,2,3,4\n5,6,7.5,8\n-1,0,1e3,0.25\n"
+	if err := s.ImportCSV(m, strings.NewReader(csvText), -1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.LoadDense(m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 2) != 7.5 || d.At(2, 2) != 1000 {
+		t.Fatalf("imported values wrong: %v %v", d.At(1, 2), d.At(2, 2))
+	}
+	var out bytes.Buffer
+	if err := s.ExportCSV(m, &out, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-import the export into a second matrix and compare.
+	m2 := m
+	m2.Name = "C2"
+	if err := s.ImportCSV(m2, bytes.NewReader(out.Bytes()), -1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.LoadDense(m2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.AlmostEqual(d, 0) {
+		t.Fatal("csv round trip mismatch")
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	s := newStore(2)
+	m := Meta{Name: "E", Rows: 2, Cols: 2, TileSize: 2}
+	cases := []string{
+		"1,2\n",          // too few rows
+		"1,2\n3,4\n5,6",  // too many rows
+		"1,2,3\n4,5,6\n", // wrong column count
+		"1,x\n3,4\n",     // bad number
+	}
+	for i, src := range cases {
+		mi := m
+		mi.Name = m.Name + string(rune('a'+i))
+		if err := s.ImportCSV(mi, strings.NewReader(src), -1); err == nil {
+			t.Errorf("case %d: expected import error", i)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cumulon/internal/dfs"
+	"cumulon/internal/linalg"
+)
+
+func newStore(nodes int) *Store {
+	return New(dfs.New(dfs.DefaultConfig(nodes)))
+}
+
+func TestMetaGeometry(t *testing.T) {
+	m := Meta{Name: "A", Rows: 10, Cols: 7, TileSize: 4}
+	if m.TileRows() != 3 || m.TileCols() != 2 {
+		t.Fatalf("grid %dx%d", m.TileRows(), m.TileCols())
+	}
+	r, c := m.TileShape(0, 0)
+	if r != 4 || c != 4 {
+		t.Fatalf("interior tile %dx%d", r, c)
+	}
+	r, c = m.TileShape(2, 1)
+	if r != 2 || c != 3 {
+		t.Fatalf("fringe tile %dx%d", r, c)
+	}
+	if m.DenseBytes() != 10*7*8 {
+		t.Fatalf("dense bytes %d", m.DenseBytes())
+	}
+}
+
+func TestTileCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tile := linalg.NewTile(1+rng.Intn(16), 1+rng.Intn(16))
+		for i := range tile.Data {
+			tile.Data[i] = rng.NormFloat64()
+		}
+		got, err := DecodeTile(EncodeTile(tile))
+		return err == nil && got.Equal(tile)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseTileCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tile := linalg.NewTile(1+rng.Intn(16), 1+rng.Intn(16))
+		for i := range tile.Data {
+			if rng.Float64() < 0.3 {
+				tile.Data[i] = rng.NormFloat64()
+			}
+		}
+		s := linalg.DenseToCSR(tile)
+		got, err := DecodeSparseTile(EncodeSparseTile(s))
+		return err == nil && got.ToDense().Equal(tile)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	tile := linalg.NewTileFrom(2, 2, []float64{1, 2, 3, 4})
+	raw := EncodeTile(tile)
+	raw[14] ^= 0xFF // flip a payload bit
+	if _, err := DecodeTile(raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDecodeDetectsTruncation(t *testing.T) {
+	tile := linalg.NewTileFrom(2, 2, []float64{1, 2, 3, 4})
+	raw := EncodeTile(tile)
+	if _, err := DecodeTile(raw[:len(raw)-5]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	tile := linalg.NewTileFrom(1, 1, []float64{1})
+	raw := EncodeTile(tile)
+	raw[0] = 0
+	if _, err := DecodeTile(raw); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	s := EncodeSparseTile(linalg.DenseToCSR(tile))
+	s[0] = 0
+	if _, err := DecodeSparseTile(s); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDenseMagicRejectedBySparseDecoder(t *testing.T) {
+	tile := linalg.NewTileFrom(1, 2, []float64{1, 2})
+	if _, err := DecodeSparseTile(EncodeTile(tile)); err == nil {
+		t.Fatal("sparse decoder accepted a dense tile")
+	}
+}
+
+func TestSaveLoadDense(t *testing.T) {
+	s := newStore(4)
+	m := Meta{Name: "A", Rows: 23, Cols: 17, TileSize: 8}
+	want := linalg.RandomDense(23, 17, 5)
+	if err := s.SaveDense(m, want, -1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadDense(m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AlmostEqual(want, 0) {
+		t.Fatal("save/load round trip mismatch")
+	}
+	if s.FS.FileCount() != m.TileRows()*m.TileCols() {
+		t.Fatalf("tile count: %d", s.FS.FileCount())
+	}
+}
+
+func TestSaveLoadSparse(t *testing.T) {
+	s := newStore(4)
+	m := Meta{Name: "V", Rows: 30, Cols: 30, TileSize: 7, Sparse: true}
+	want := linalg.RandomSparseDense(30, 30, 0.1, 5)
+	if err := s.SaveDense(m, want, -1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadDense(m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AlmostEqual(want, 0) {
+		t.Fatal("sparse save/load round trip mismatch")
+	}
+}
+
+func TestSaveShapeMismatch(t *testing.T) {
+	s := newStore(2)
+	m := Meta{Name: "A", Rows: 4, Cols: 4, TileSize: 2}
+	if err := s.SaveDense(m, linalg.NewDense(3, 4), -1); err == nil {
+		t.Fatal("want shape mismatch error")
+	}
+}
+
+func TestDeleteMatrix(t *testing.T) {
+	s := newStore(3)
+	m := Meta{Name: "tmp", Rows: 8, Cols: 8, TileSize: 4}
+	if err := s.SaveDense(m, linalg.RandomDense(8, 8, 1), -1); err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteMatrix(m)
+	if s.FS.FileCount() != 0 {
+		t.Fatalf("tiles left after delete: %d", s.FS.FileCount())
+	}
+}
+
+func TestReadWriteSingleTiles(t *testing.T) {
+	s := newStore(3)
+	m := Meta{Name: "B", Rows: 6, Cols: 6, TileSize: 3}
+	tile := linalg.NewTileFrom(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err := s.WriteTile(m, 1, 0, tile, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadTile(m, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tile) {
+		t.Fatal("tile mismatch")
+	}
+	// Tile coordinates are part of the name: other coords are missing.
+	if _, err := s.ReadTile(m, 0, 0, 0); !errors.Is(err, dfs.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}

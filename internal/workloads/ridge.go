@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+// RidgeRegression solves the regularized least-squares problem
+//
+//	w = (XᵀX + λI)⁻¹ Xᵀy
+//
+// with the hybrid pattern the paper's workloads favor: the two data-sized
+// products (the d x d Gram matrix XᵀX and the d-vector Xᵀy) run on the
+// Cumulon cluster, while the tiny d x d solve happens locally by Cholesky
+// factorization. This is the exact-solution counterpart of the iterative
+// Regression workload.
+func RidgeRegression(sess *core.Session, x, y *linalg.Dense, lambda float64, cl cloud.Cluster, tileSize int) (*linalg.Dense, error) {
+	if y.Rows != x.Rows || y.Cols != 1 {
+		return nil, fmt.Errorf("workloads: y must be %dx1, got %dx%d", x.Rows, y.Rows, y.Cols)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("workloads: negative ridge penalty %g", lambda)
+	}
+	prog, err := gramProgram(x.Rows, x.Cols)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Run(prog, plan.Config{TileSize: tileSize}, core.ExecOptions{
+		Cluster: cl,
+		Inputs:  map[string]*linalg.Dense{"X": x, "y": y},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: gram stage: %w", err)
+	}
+	gram := res.Outputs["G"]
+	xty := res.Outputs["b"]
+	for i := 0; i < gram.Rows; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	w, err := linalg.CholeskySolve(gram, xty)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: solve stage: %w", err)
+	}
+	return w, nil
+}
+
+func gramProgram(n, d int) (*lang.Program, error) {
+	return lang.Parse(fmt.Sprintf(`
+program ridge-gram
+input X %d %d
+input y %d 1
+G = X' * X
+b = X' * y
+output G
+output b
+`, n, d, n))
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"testing"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/linalg"
+)
+
+func ridgeCluster(t *testing.T) cloud.Cluster {
+	t.Helper()
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestRidgeRecoversTrueWeights(t *testing.T) {
+	sess := core.NewSession(2)
+	n, d := 300, 6
+	x := linalg.RandomDense(n, d, 1)
+	wTrue := linalg.RandomDense(d, 1, 2)
+	y := x.Mul(wTrue)
+
+	w, err := RidgeRegression(sess, x, y, 1e-8, ridgeCluster(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.AlmostEqual(wTrue, 1e-6) {
+		t.Fatalf("ridge weights off by %g", w.MaxAbsDiff(wTrue))
+	}
+}
+
+func TestRidgeMatchesLocalNormalEquations(t *testing.T) {
+	sess := core.NewSession(3)
+	n, d, lambda := 200, 5, 0.5
+	x := linalg.RandomDense(n, d, 4)
+	y := x.Mul(linalg.RandomDense(d, 1, 5)).Add(linalg.RandomDense(n, 1, 6).Scale(0.1))
+
+	w, err := RidgeRegression(sess, x, y, lambda, ridgeCluster(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local oracle.
+	g := x.T().Mul(x)
+	for i := 0; i < d; i++ {
+		g.Set(i, i, g.At(i, i)+lambda)
+	}
+	want, err := linalg.CholeskySolve(g, x.T().Mul(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.AlmostEqual(want, 1e-8) {
+		t.Fatalf("cluster ridge differs from local by %g", w.MaxAbsDiff(want))
+	}
+}
+
+func TestRidgeShrinksWithPenalty(t *testing.T) {
+	sess := core.NewSession(4)
+	n, d := 150, 4
+	x := linalg.RandomDense(n, d, 7)
+	y := x.Mul(linalg.RandomDense(d, 1, 8))
+	w0, err := RidgeRegression(sess, x, y, 0.001, ridgeCluster(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBig, err := RidgeRegression(sess, x, y, 1e6, ridgeCluster(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wBig.FrobeniusNorm() >= w0.FrobeniusNorm() {
+		t.Fatal("large penalty should shrink the weights")
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	sess := core.NewSession(5)
+	x := linalg.RandomDense(10, 3, 1)
+	if _, err := RidgeRegression(sess, x, linalg.NewDense(9, 1), 1, ridgeCluster(t), 4); err == nil {
+		t.Fatal("want y-shape error")
+	}
+	if _, err := RidgeRegression(sess, x, linalg.NewDense(10, 1), -1, ridgeCluster(t), 4); err == nil {
+		t.Fatal("want negative-lambda error")
+	}
+}

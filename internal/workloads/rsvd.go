@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cumulon/internal/lang"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+// RandomizedSVD runs the complete randomized SVD pipeline (Halko,
+// Martinsson, Tropp) with the heavy products on the Cumulon cluster and
+// the small factorizations locally:
+//
+//	B = A (AᵀA)^power Ω          — the distributed sketch (workload RSVD)
+//	Q, _ = QR(B)                 — local thin QR, k columns
+//	P = Qᵀ A                     — distributed projection, k x n
+//	Ū Σ Vᵀ = SVD(P)              — local small SVD
+//	U = Q Ū                      — back-projection
+//
+// It returns the rank-k approximation factors of a. Execution is
+// materialized (real data) and verified against the interpreter-backed
+// engine tests; use it for genuinely small-k problems.
+func RandomizedSVD(sess *core.Session, a *linalg.Dense, k, power int, cl cloud.Cluster, tileSize int, seed int64) (*linalg.SVDResult, error) {
+	m, n := a.Rows, a.Cols
+	if k <= 0 || k > n || k > m {
+		return nil, fmt.Errorf("workloads: rank k=%d out of range for %dx%d", k, m, n)
+	}
+	cfg := plan.Config{TileSize: tileSize}
+
+	// Stage 1: distributed sketch.
+	sketch := RSVD(m, n, k, power)
+	omega := linalg.RandomDense(n, k, seed)
+	res, err := sess.Run(sketch.Prog, cfg, core.ExecOptions{
+		Cluster: cl,
+		Inputs:  map[string]*linalg.Dense{"A": a, "Omega": omega},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: sketch stage: %w", err)
+	}
+	b := res.Outputs["B"]
+
+	// Stage 2: local thin QR of the m x k sketch.
+	q, _, err := linalg.QR(b)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: QR stage: %w", err)
+	}
+
+	// Stage 3: distributed projection P = Qᵀ A (k x n).
+	projProg, err := projectionProgram(m, n, k)
+	if err != nil {
+		return nil, err
+	}
+	res2, err := sess.Run(projProg, cfg, core.ExecOptions{
+		Cluster: cl,
+		Inputs:  map[string]*linalg.Dense{"Q": q, "A": a},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: projection stage: %w", err)
+	}
+	p := res2.Outputs["P"]
+
+	// Stage 4: local SVD of the k x n projection, then back-project.
+	small, err := linalg.SVD(p)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: SVD stage: %w", err)
+	}
+	return &linalg.SVDResult{
+		U: q.Mul(small.U),
+		S: small.S,
+		V: small.V,
+	}, nil
+}
+
+func projectionProgram(m, n, k int) (*lang.Program, error) {
+	return lang.Parse(fmt.Sprintf(`
+program rsvd-project
+input Q %d %d
+input A %d %d
+P = Q' * A
+output P
+`, m, k, m, n))
+}

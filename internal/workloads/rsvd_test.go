@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/linalg"
+)
+
+// lowRankPlusNoise builds a matrix with known singular structure.
+func lowRankPlusNoise(m, n, rank int, noise float64, seed int64) (*linalg.Dense, []float64) {
+	a := linalg.NewDense(m, n)
+	var svals []float64
+	for r := 0; r < rank; r++ {
+		s := float64(rank-r) * 10
+		svals = append(svals, s)
+		u := linalg.RandomDense(m, 1, seed+int64(r)*2)
+		v := linalg.RandomDense(n, 1, seed+int64(r)*2+1)
+		// Normalize so the component's scale is s.
+		un, vn := u.FrobeniusNorm(), v.FrobeniusNorm()
+		a = a.Add(u.Mul(v.T()).Scale(s / (un * vn)))
+	}
+	if noise > 0 {
+		a = a.Add(linalg.RandomDense(m, n, seed+99).Scale(noise))
+	}
+	return a, svals
+}
+
+func TestRandomizedSVDEndToEnd(t *testing.T) {
+	sess := core.NewSession(7)
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, rank := 80, 60, 3
+	a, _ := lowRankPlusNoise(m, n, rank, 0.001, 11)
+
+	res, err := RandomizedSVD(sess, a, rank+2, 2, cl, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rank-k approximation must capture almost all of A's energy.
+	approx := res.Reconstruct()
+	relErr := a.Sub(approx).FrobeniusNorm() / a.FrobeniusNorm()
+	if relErr > 0.01 {
+		t.Fatalf("rank-%d approximation error %v too large", rank+2, relErr)
+	}
+	// Singular values match the direct small SVD of A.
+	direct, err := linalg.SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rank; i++ {
+		if math.Abs(res.S[i]-direct.S[i])/direct.S[i] > 0.01 {
+			t.Fatalf("singular value %d: randomized %v vs direct %v", i, res.S[i], direct.S[i])
+		}
+	}
+	if !linalg.IsOrthonormalCols(res.U, 1e-8) {
+		t.Fatal("U not orthonormal")
+	}
+}
+
+func TestRandomizedSVDValidatesRank(t *testing.T) {
+	sess := core.NewSession(1)
+	mt, _ := cloud.TypeByName("m1.small")
+	cl, _ := cloud.NewCluster(mt, 2, 1)
+	a := linalg.RandomDense(10, 8, 1)
+	if _, err := RandomizedSVD(sess, a, 0, 1, cl, 4, 1); err == nil {
+		t.Fatal("want rank error for k=0")
+	}
+	if _, err := RandomizedSVD(sess, a, 9, 1, cl, 4, 1); err == nil {
+		t.Fatal("want rank error for k > cols")
+	}
+}

@@ -22,9 +22,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "reproduction seed")
 	quiet := flag.Bool("q", false, "suppress per-experiment timing")
 	format := flag.String("format", "text", "table format: text, markdown, or csv")
+	workers := flag.Int("workers", 0, "parallel compute workers for materialized runs")
 	flag.Parse()
 
 	s := bench.NewSuite(*seed)
+	s.Workers = *workers
 	run := func(id string) error {
 		t0 := time.Now()
 		if _, err := s.RunOneFormat(id, os.Stdout, *format); err != nil {

@@ -49,6 +49,8 @@ func run() error {
 	materialize := flag.Bool("materialize", false,
 		"compute real values on random inputs (small programs only) and print output stats")
 	seed := flag.Int64("seed", 42, "seed for data, placement and noise")
+	workers := flag.Int("workers", 0,
+		"parallel compute workers for -materialize (capped at GOMAXPROCS; results are identical)")
 	showPlan := flag.Bool("plan", true, "print the compiled physical plan")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	dot := flag.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
@@ -99,7 +101,7 @@ func run() error {
 		fmt.Println()
 	}
 
-	opts := core.ExecOptions{Cluster: cluster}
+	opts := core.ExecOptions{Cluster: cluster, Workers: *workers}
 	if *materialize {
 		opts.Inputs = randomInputs(prog, cfg, *seed)
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"cumulon/internal/cloud"
+	"cumulon/internal/compute"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
@@ -47,7 +48,7 @@ func variants(t *testing.T) []engineVariant {
 			return exec.Config{Cluster: cl, Materialize: true, Seed: 2, Replication: 1}
 		}},
 		{"racked", func(cl cloud.Cluster) exec.Config {
-			return exec.Config{Cluster: cl, Materialize: true, Seed: 3, RackSize: 2, CrossRackPenalty: 3}
+			return exec.Config{Cluster: cl, Materialize: true, Seed: 3, RackSize: 2, CrossRackPenalty: exec.Float(3)}
 		}},
 		{"overlap", func(cl cloud.Cluster) exec.Config {
 			return exec.Config{Cluster: cl, Materialize: true, Seed: 4, OverlapJobs: true}
@@ -269,6 +270,79 @@ output H
 	}
 	if !wOut.AlmostEqual(want["W"], 1e-8) || !hOut.AlmostEqual(want["H"], 1e-8) {
 		t.Fatal("full-stack GNMF diverges from the interpreter")
+	}
+}
+
+// TestGNMFWorkerCountInvariance runs the full GNMF loop materialized with
+// workers=1 and with an 8-wide worker pool and asserts the runs are
+// indistinguishable: same virtual completion time, same output norms. The
+// pool is injected via exec.Config.Backend so the test exercises real
+// multi-goroutine compute even on hosts where GOMAXPROCS would cap
+// Config.Workers back to 1.
+func TestGNMFWorkerCountInvariance(t *testing.T) {
+	src := `
+input V 24 18 sparse
+input W 24 3
+input H 3 18
+for i in 1:3 {
+  H = H .* (W' * V) ./ ((W' * W) * H)
+  W = W .* (V * H') ./ (W * (H * H'))
+}
+output W
+output H
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string]*linalg.Dense{
+		"V": linalg.RandomSparseDense(24, 18, 0.5, 1),
+		"W": linalg.RandomDense(24, 3, 2).Map(func(x float64) float64 { return x + 0.1 }),
+		"H": linalg.RandomDense(3, 18, 3).Map(func(x float64) float64 { return x + 0.1 }),
+	}
+	run := func(be compute.Backend, workers int) (float64, map[string]float64) {
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 4, Densities: map[string]float64{"V": 0.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := integCluster(t, 4, 2)
+		pl.AutoSplit(cl.TotalSlots())
+		e, err := exec.New(exec.Config{
+			Cluster: cl, Materialize: true, Seed: 13,
+			RackSize: 2, NoiseFactor: 0.2, Speculation: true,
+			CacheFraction: 0.4, Workers: workers, Backend: be,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range pl.Inputs {
+			if err := e.LoadDense(in, data[in.Name]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := e.Run(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norms := map[string]float64{}
+		for name, meta := range pl.Outputs {
+			d, err := e.FetchOutput(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			norms[name] = d.FrobeniusNorm()
+		}
+		return m.TotalSeconds, norms
+	}
+	seqSecs, seqNorms := run(nil, 1)
+	poolSecs, poolNorms := run(compute.NewPool(8), 0)
+	if seqSecs != poolSecs {
+		t.Fatalf("virtual completion time depends on worker count: %v vs %v", seqSecs, poolSecs)
+	}
+	for name, sn := range seqNorms {
+		if pn := poolNorms[name]; pn != sn {
+			t.Fatalf("output %s norm depends on worker count: %v vs %v", name, sn, pn)
+		}
 	}
 }
 

@@ -294,7 +294,7 @@ func (s *Suite) E18Locality() (*Result, error) {
 			Cluster:          cl,
 			Replication:      v.repl,
 			RackSize:         v.rackSize,
-			CrossRackPenalty: v.penalty,
+			CrossRackPenalty: exec.Float(v.penalty),
 			Seed:             s.Seed,
 			NoiseFactor:      0.08,
 		})

@@ -96,6 +96,11 @@ func newResult(id, title string, header ...string) *Result {
 type Suite struct {
 	Sess *core.Session
 	Seed int64
+	// Workers sets the compute parallelism of materialized runs (see
+	// exec.Config.Workers). Virtual-mode experiments are unaffected; the
+	// knob exists so materialized comparisons and the integration tests
+	// that drive the suite finish faster on multi-core hosts.
+	Workers int
 }
 
 // NewSuite constructs a suite; all randomness derives from seed.
@@ -120,7 +125,7 @@ func (s *Suite) cluster(typeName string, nodes, slots int) cloud.Cluster {
 // runVirtual compiles and executes a program in virtual mode on the given
 // cluster, with AutoSplit physical parameters, returning the run metrics.
 func (s *Suite) runVirtual(prog *lang.Program, cfg plan.Config, cl cloud.Cluster) (*exec.RunMetrics, error) {
-	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl})
+	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ func (s *Suite) runMR(w workloads.Workload, nodes int) (*mapred.RunMetrics, erro
 		BlockSize:   tileSize,
 		Seed:        s.Seed,
 		NoiseFactor: 0.08,
+		Workers:     s.Workers,
 	})
 	if err != nil {
 		return nil, err

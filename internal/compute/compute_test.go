@@ -1,0 +1,193 @@
+package compute
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+)
+
+func TestPartitionAxis(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []Span
+	}{
+		{0, 4, []Span{}},
+		{1, 4, []Span{{0, 1}}},
+		{4, 2, []Span{{0, 2}, {2, 4}}},
+		{5, 2, []Span{{0, 2}, {2, 5}}},
+		{7, 3, []Span{{0, 2}, {2, 4}, {4, 7}}},
+		{3, 1, []Span{{0, 3}}},
+	}
+	for _, c := range cases {
+		got := PartitionAxis(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("PartitionAxis(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("PartitionAxis(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+			}
+		}
+	}
+	// Spans must always tile [0, n) exactly, in order.
+	for _, n := range []int{1, 5, 16, 31, 100} {
+		for _, parts := range []int{1, 2, 3, 7, 200} {
+			spans := PartitionAxis(n, parts)
+			pos := 0
+			for _, sp := range spans {
+				if sp.Lo != pos || sp.Hi <= sp.Lo {
+					t.Fatalf("PartitionAxis(%d,%d): bad span %v at pos %d", n, parts, sp, pos)
+				}
+				pos = sp.Hi
+			}
+			if pos != n {
+				t.Fatalf("PartitionAxis(%d,%d) covers [0,%d), want [0,%d)", n, parts, pos, n)
+			}
+		}
+	}
+}
+
+func TestKExtent(t *testing.T) {
+	// 10 elements in tiles of 4: extents 4, 4, 2.
+	for k, want := range []int{4, 4, 2} {
+		if got := KExtent(10, 4, k); got != want {
+			t.Fatalf("KExtent(10,4,%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := KExtent(8, 4, 1); got != 4 {
+		t.Fatalf("KExtent(8,4,1) = %d, want 4", got)
+	}
+}
+
+// TestDenseHelpersMatchOracle checks every whole-matrix helper against the
+// linalg.Dense reference on both backends, and that the pool's striping
+// produces bitwise-identical results to the sequential backend.
+func TestDenseHelpersMatchOracle(t *testing.T) {
+	a := linalg.RandomDense(37, 23, 1)
+	b := linalg.RandomDense(23, 19, 2)
+	c := linalg.RandomDense(37, 23, 3)
+	seq := NewSequential()
+	pool := NewPool(4)
+
+	type result struct {
+		name string
+		eval func(be Backend) *linalg.Dense
+		want *linalg.Dense
+	}
+	mulWant := a.Mul(b)
+	cases := []result{
+		{"mul", func(be Backend) *linalg.Dense { return MulDense(be, a, b) }, mulWant},
+		{"zip", func(be Backend) *linalg.Dense {
+			return ZipDense(be, a, c, func(x, y float64) float64 { return x*y + 1 })
+		}, a.ElemMul(c).Map(func(v float64) float64 { return v + 1 })},
+		{"map", func(be Backend) *linalg.Dense {
+			return MapDense(be, a, func(v float64) float64 { return 2*v - 1 })
+		}, a.Map(func(v float64) float64 { return 2*v - 1 })},
+		{"scale", func(be Backend) *linalg.Dense { return ScaleDense(be, a, 2.5) },
+			a.Map(func(v float64) float64 { return 2.5 * v })},
+		{"transpose", func(be Backend) *linalg.Dense { return TransposeDense(be, a) }, a.T()},
+	}
+	for _, cs := range cases {
+		s := cs.eval(seq)
+		p := cs.eval(pool)
+		if !s.AlmostEqual(cs.want, 1e-12) {
+			t.Fatalf("%s: sequential result off by %g", cs.name, s.MaxAbsDiff(cs.want))
+		}
+		if !reflect.DeepEqual(s.Data, p.Data) {
+			t.Fatalf("%s: pool result not bitwise identical to sequential (maxdiff %g)",
+				cs.name, s.MaxAbsDiff(p))
+		}
+	}
+}
+
+func TestZipFunc(t *testing.T) {
+	cases := []struct {
+		e       lang.Expr
+		x, y, w float64
+	}{
+		{lang.Add{}, 3, 4, 7},
+		{lang.Sub{}, 3, 4, -1},
+		{lang.ElemMul{}, 3, 4, 12},
+		{lang.ElemDiv{}, 3, 4, 0.75},
+	}
+	for _, c := range cases {
+		f, ok := ZipFunc(c.e)
+		if !ok {
+			t.Fatalf("ZipFunc(%T) not recognized", c.e)
+		}
+		if got := f(c.x, c.y); got != c.w {
+			t.Fatalf("ZipFunc(%T)(%g,%g) = %g, want %g", c.e, c.x, c.y, got, c.w)
+		}
+	}
+	if _, ok := ZipFunc(lang.Var{}); ok {
+		t.Fatal("ZipFunc(Var) should not be recognized")
+	}
+}
+
+// TestRunBatchErrorAndMemoization checks that both backends propagate task
+// errors through fetch and memoize results across repeated fetches.
+func TestRunBatchErrorAndMemoization(t *testing.T) {
+	boom := errors.New("boom")
+	for _, tc := range []struct {
+		name string
+		be   Backend
+	}{{"sequential", NewSequential()}, {"pool", NewPool(3)}} {
+		runs := make([]int, 3)
+		tasks := []*Task{
+			{Fn: func(c *Ctx) error { runs[0]++; c.res.Flops = 11; return nil }},
+			{Fn: func(c *Ctx) error { runs[1]++; return boom }},
+			{Fn: func(c *Ctx) error { runs[2]++; c.res.Flops = 33; return nil }},
+		}
+		fetch := tc.be.RunBatch(tasks)
+		if _, err := fetch(1); !errors.Is(err, boom) {
+			t.Fatalf("%s: fetch(1) err = %v, want boom", tc.name, err)
+		}
+		res, err := fetch(2)
+		if err != nil || res.Flops != 33 {
+			t.Fatalf("%s: fetch(2) = %v, %v", tc.name, res, err)
+		}
+		// Repeat fetches return the memoized results without recomputing.
+		for i := 0; i < 3; i++ {
+			if r, err := fetch(0); err != nil || r.Flops != 11 {
+				t.Fatalf("%s: fetch(0) = %v, %v", tc.name, r, err)
+			}
+			if _, err := fetch(1); !errors.Is(err, boom) {
+				t.Fatalf("%s: repeat fetch(1) err = %v", tc.name, err)
+			}
+		}
+		// The pool computes every task eagerly exactly once; the
+		// sequential backend computes lazily, also exactly once.
+		for i, n := range runs {
+			if n != 1 {
+				t.Fatalf("%s: task %d ran %d times", tc.name, i, n)
+			}
+		}
+	}
+}
+
+// TestScratchReuseZeroes guards the accumulator-recycling invariant: a
+// reused buffer must come back zeroed even when the previous tenant left
+// data behind, including when the new tile is smaller.
+func TestScratchReuseZeroes(t *testing.T) {
+	sc := &scratch{}
+	tl := sc.tile(4, 4)
+	for i := range tl.Data {
+		tl.Data[i] = 42
+	}
+	sc.release(tl)
+	got := sc.tile(2, 3)
+	if &got.Data[0] != &tl.Data[0] {
+		t.Fatal("scratch did not reuse the released buffer")
+	}
+	for i, v := range got.Data {
+		if v != 0 {
+			t.Fatalf("reused scratch tile not zeroed at %d: %g", i, v)
+		}
+	}
+	if got.Rows != 2 || got.Cols != 3 || len(got.Data) != 6 {
+		t.Fatalf("scratch tile shape %dx%d len %d", got.Rows, got.Cols, len(got.Data))
+	}
+}

@@ -1,0 +1,445 @@
+package compute
+
+import (
+	"fmt"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+	"cumulon/internal/store"
+)
+
+// scratch recycles accumulator tiles within a worker. Accumulators are
+// released as soon as their contents have been encoded into the trace, so
+// a worker's peak footprint stays at a few tiles regardless of task count.
+type scratch struct {
+	free []*linalg.Tile
+}
+
+// tile returns a zeroed rows x cols tile, reusing a released buffer when
+// one is large enough.
+func (s *scratch) tile(rows, cols int) *linalg.Tile {
+	n := rows * cols
+	for i := len(s.free) - 1; i >= 0; i-- {
+		if t := s.free[i]; cap(t.Data) >= n {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+			d := t.Data[:n]
+			for j := range d {
+				d[j] = 0
+			}
+			return linalg.NewTileFrom(rows, cols, d)
+		}
+	}
+	return linalg.NewTile(rows, cols)
+}
+
+// release returns a tile to the pool. Only tiles obtained from this
+// scratch may be released, and only once nothing references their data.
+func (s *scratch) release(t *linalg.Tile) {
+	if t == nil {
+		return
+	}
+	const keep = 8
+	if len(s.free) < keep {
+		s.free = append(s.free, t)
+	}
+}
+
+// Ctx carries the per-task compute state: the environment, decoded-tile
+// caches so repeated references read once (as a real task would), the
+// recorded trace, and the worker's scratch space. A Ctx lives for exactly
+// one task execution and is confined to one goroutine.
+type Ctx struct {
+	env Env
+	sc  *scratch
+	res Result
+	// dense / sparse cache decoded input tiles by path (materialized
+	// mode). A path read both densely and sparsely within one task is
+	// traced once per access kind, matching how a real task would fetch
+	// it twice into the two formats.
+	dense  map[string]*linalg.Tile
+	sparse map[string]*linalg.CSRTile
+	// seen marks paths already traced in virtual mode, where the two
+	// access kinds share one marker (no payloads distinguish them).
+	seen map[string]bool
+}
+
+func newCtx(env Env, sc *scratch) *Ctx {
+	if sc == nil {
+		sc = &scratch{}
+	}
+	return &Ctx{
+		env:    env,
+		sc:     sc,
+		dense:  map[string]*linalg.Tile{},
+		sparse: map[string]*linalg.CSRTile{},
+		seen:   map[string]bool{},
+	}
+}
+
+func (c *Ctx) virtual() bool { return c.env.Virtual }
+
+// trace appends a read op unless the path was already traced this task.
+func (c *Ctx) traceRead(path string, sparse bool) {
+	c.res.Ops = append(c.res.Ops, Op{Path: path, Sparse: sparse})
+}
+
+// readVirtual records a read in virtual mode, once per path per task.
+func (c *Ctx) readVirtual(path string) {
+	if c.seen[path] {
+		return
+	}
+	c.seen[path] = true
+	c.traceRead(path, false)
+}
+
+// readDenseTile reads and decodes the dense tile at (ti, tj) of meta,
+// densifying sparse storage. Returns nil in virtual mode (the read is
+// still traced for the engine's accounting).
+func (c *Ctx) readDenseTile(meta store.Meta, ti, tj int) (*linalg.Tile, error) {
+	path := meta.TilePath(ti, tj)
+	if c.virtual() {
+		c.readVirtual(path)
+		return nil, nil
+	}
+	if t, ok := c.dense[path]; ok {
+		return t, nil
+	}
+	raw, err := c.env.Src.Peek(path)
+	if err != nil {
+		return nil, err
+	}
+	c.traceRead(path, false)
+	var tile *linalg.Tile
+	if meta.Sparse {
+		sp, err := store.DecodeSparseTile(raw)
+		if err != nil {
+			return nil, err
+		}
+		tile = sp.ToDense()
+	} else {
+		tile, err = store.DecodeTile(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.dense[path] = tile
+	return tile, nil
+}
+
+// readSparseTile reads a CSR tile (sparse fast path).
+func (c *Ctx) readSparseTile(meta store.Meta, ti, tj int) (*linalg.CSRTile, error) {
+	path := meta.TilePath(ti, tj)
+	if c.virtual() {
+		c.readVirtual(path)
+		return nil, nil
+	}
+	if t, ok := c.sparse[path]; ok {
+		return t, nil
+	}
+	raw, err := c.env.Src.Peek(path)
+	if err != nil {
+		return nil, err
+	}
+	c.traceRead(path, true)
+	sp, err := store.DecodeSparseTile(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.sparse[path] = sp
+	return sp, nil
+}
+
+// readLeafTile reads the tile at *logical* coordinates (ti, tj) of a leaf,
+// transposing on the fly for transposed access paths.
+func (c *Ctx) readLeafTile(ref plan.LeafRef, ti, tj int) (*linalg.Tile, error) {
+	ri, rj := ti, tj
+	if ref.Transposed {
+		ri, rj = tj, ti
+	}
+	t, err := c.readDenseTile(ref.Meta, ri, rj)
+	if err != nil || t == nil {
+		return nil, err
+	}
+	if ref.Transposed {
+		return linalg.Transpose(t), nil
+	}
+	return t, nil
+}
+
+// leafShape returns the logical shape of leaf tile (ti, tj).
+func leafShape(ref plan.LeafRef, ti, tj int) (rows, cols int) {
+	if ref.Transposed {
+		r, c := ref.Meta.TileShape(tj, ti)
+		return c, r
+	}
+	return ref.Meta.TileShape(ti, tj)
+}
+
+// evalTile evaluates a fused element-wise expression at logical tile
+// coordinates (ti, tj). mm binds the MMVar placeholder (epilogues). In
+// virtual mode the returned tile is nil but all reads and flops are
+// traced.
+func (c *Ctx) evalTile(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile) (*linalg.Tile, error) {
+	tile, _, _, err := c.evalTileShaped(e, leaves, ti, tj, mm, -1, -1)
+	return tile, err
+}
+
+// evalTileShaped is evalTile tracking shapes so virtual mode can count
+// flops without data. mmRows/mmCols give MMVar's shape when mm is nil.
+func (c *Ctx) evalTileShaped(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile, mmRows, mmCols int) (*linalg.Tile, int, int, error) {
+	switch x := e.(type) {
+	case lang.Var:
+		if x.Name == plan.MMVar {
+			if mm != nil {
+				return mm, mm.Rows, mm.Cols, nil
+			}
+			return nil, mmRows, mmCols, nil
+		}
+		ref, ok := leaves[x.Name]
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("unbound leaf %s", x.Name)
+		}
+		rows, cols := leafShape(ref, ti, tj)
+		t, err := c.readLeafTile(ref, ti, tj)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return t, rows, cols, nil
+	case lang.Transpose:
+		// Transposes are pushed to leaves by the planner; a residual one
+		// here is a planner bug.
+		return nil, 0, 0, fmt.Errorf("unexpected transpose in physical expression %s", e)
+	case lang.Add:
+		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a + b })
+	case lang.Sub:
+		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a - b })
+	case lang.ElemMul:
+		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a * b })
+	case lang.ElemDiv:
+		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a / b })
+	case lang.Scale:
+		t, rows, cols, err := c.evalTileShaped(x.X, leaves, ti, tj, mm, mmRows, mmCols)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		c.res.Flops += int64(rows) * int64(cols)
+		if t == nil {
+			return nil, rows, cols, nil
+		}
+		return linalg.Scale(t, x.S), rows, cols, nil
+	case lang.Apply:
+		t, rows, cols, err := c.evalTileShaped(x.X, leaves, ti, tj, mm, mmRows, mmCols)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		c.res.Flops += int64(rows) * int64(cols)
+		if t == nil {
+			return nil, rows, cols, nil
+		}
+		fn, ok := lang.Funcs[x.Fn]
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("unknown function %s", x.Fn)
+		}
+		return linalg.Map(t, fn), rows, cols, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unexpected node %T in physical expression", e)
+	}
+}
+
+func (c *Ctx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile, mmRows, mmCols int, f func(a, b float64) float64) (*linalg.Tile, int, int, error) {
+	lt, rows, cols, err := c.evalTileShaped(l, leaves, ti, tj, mm, mmRows, mmCols)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rt, _, _, err := c.evalTileShaped(r, leaves, ti, tj, mm, mmRows, mmCols)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	c.res.Flops += int64(rows) * int64(cols)
+	if lt == nil || rt == nil {
+		return nil, rows, cols, nil
+	}
+	return linalg.Zip(lt, rt, f), rows, cols, nil
+}
+
+// mulTile computes the (ti, tj) output tile contribution of a Mul job over
+// the inner-dimension tile span ks, evaluating the prologue trees per tile
+// and using the sparse kernel when the left operand is a bare sparse leaf.
+// The returned accumulator comes from scratch; the caller must release it
+// after encoding.
+func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
+	outRows, outCols := j.Out.TileShape(ti, tj)
+	var acc *linalg.Tile
+	if !c.virtual() {
+		acc = c.sc.tile(outRows, outCols)
+	}
+	lRef, lBare := bareSparseLeaf(j.LExpr, j.Leaves)
+	for k := ks.Lo; k < ks.Hi; k++ {
+		kk := KExtent(j.KSize, j.Out.TileSize, k)
+		rt, _, _, err := c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
+		if err != nil {
+			return nil, err
+		}
+		if lBare {
+			if err := c.mulSparseLeft(acc, lRef, ti, k, rt, kk, outCols); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		lt, _, _, err := c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
+		if err != nil {
+			return nil, err
+		}
+		c.res.Flops += linalg.GemmFlops(outRows, kk, outCols)
+		if acc != nil {
+			linalg.Gemm(acc, lt, rt)
+		}
+	}
+	return acc, nil
+}
+
+// mulTileMasked computes the (ti, tj) sparse output tile of a masked
+// multiply: the product of the prologue tiles restricted to the pattern's
+// stored positions, at cost 2*nnz(pattern tile)*K.
+func (c *Ctx) mulTileMasked(j *plan.Job, maskRef plan.LeafRef, ti, tj int, ks Span) (*linalg.CSRTile, error) {
+	pat, err := c.readLeafSparseTile(maskRef, ti, tj)
+	if err != nil {
+		return nil, err
+	}
+	outRows, outCols := j.Out.TileShape(ti, tj)
+	var acc *linalg.CSRTile
+	for k := ks.Lo; k < ks.Hi; k++ {
+		kk := KExtent(j.KSize, j.Out.TileSize, k)
+		lt, _, _, err := c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
+		if err != nil {
+			return nil, err
+		}
+		rt, _, _, err := c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
+		if err != nil {
+			return nil, err
+		}
+		if c.virtual() {
+			estNNZ := maskRef.Meta.EffDensity() * float64(outRows) * float64(outCols)
+			c.res.Flops += int64(2 * estNNZ * float64(kk))
+			continue
+		}
+		c.res.Flops += 2 * int64(pat.NNZ()) * int64(kk)
+		part := linalg.MaskedGemm(pat, lt, rt)
+		if acc == nil {
+			acc = part
+		} else {
+			acc = linalg.SpZip(acc, part, func(a, b float64) float64 { return a + b })
+		}
+	}
+	return acc, nil
+}
+
+// readLeafSparseTile reads a sparse leaf tile at logical coordinates,
+// transposing in CSR form for transposed access paths. Returns nil in
+// virtual mode (the read is still traced).
+func (c *Ctx) readLeafSparseTile(ref plan.LeafRef, ti, tj int) (*linalg.CSRTile, error) {
+	ri, rj := ti, tj
+	if ref.Transposed {
+		ri, rj = tj, ti
+	}
+	sp, err := c.readSparseTile(ref.Meta, ri, rj)
+	if err != nil || sp == nil {
+		return nil, err
+	}
+	if ref.Transposed {
+		return sp.Transpose(), nil
+	}
+	return sp, nil
+}
+
+// mulSparseLeft accumulates the contribution of a bare sparse left leaf at
+// logical coordinates (ti, k) times the dense right tile rt.
+func (c *Ctx) mulSparseLeft(acc *linalg.Tile, ref plan.LeafRef, ti, k int, rt *linalg.Tile, kk, outCols int) error {
+	ri, rj := ti, k
+	if ref.Transposed {
+		ri, rj = k, ti
+	}
+	sp, err := c.readSparseTile(ref.Meta, ri, rj)
+	if err != nil {
+		return err
+	}
+	if c.virtual() {
+		rows, _ := leafShape(ref, ti, k)
+		estNNZ := ref.Meta.EffDensity() * float64(rows) * float64(kk)
+		c.res.Flops += int64(2 * estNNZ * float64(outCols))
+		return nil
+	}
+	c.res.Flops += 2 * int64(sp.NNZ()) * int64(outCols)
+	if ref.Transposed {
+		linalg.SpGemmDenseTA(acc, sp, rt)
+	} else {
+		linalg.SpGemmDense(acc, sp, rt)
+	}
+	return nil
+}
+
+// bareSparseLeaf reports whether expr is a single sparse leaf reference.
+func bareSparseLeaf(e lang.Expr, leaves map[string]plan.LeafRef) (plan.LeafRef, bool) {
+	v, ok := e.(lang.Var)
+	if !ok {
+		return plan.LeafRef{}, false
+	}
+	ref, ok := leaves[v.Name]
+	if !ok || !ref.Meta.Sparse {
+		return plan.LeafRef{}, false
+	}
+	return ref, true
+}
+
+// sumTiles reads and sums the (ti, tj) tiles of the given partial
+// matrices (aggregation phase of a k-split product). The returned
+// accumulator comes from scratch; the caller must release it after
+// encoding.
+func (c *Ctx) sumTiles(partials []store.Meta, ti, tj int) (*linalg.Tile, error) {
+	var acc *linalg.Tile
+	for i, pm := range partials {
+		t, err := c.readDenseTile(pm, ti, tj)
+		if err != nil {
+			return nil, err
+		}
+		rows, cols := pm.TileShape(ti, tj)
+		if i > 0 {
+			c.res.Flops += int64(rows) * int64(cols)
+		}
+		if c.virtual() {
+			continue
+		}
+		if acc == nil {
+			acc = c.sc.tile(rows, cols)
+			copy(acc.Data, t.Data)
+		} else {
+			linalg.AddInto(acc, t)
+		}
+	}
+	return acc, nil
+}
+
+// writeTile records an output tile in the trace (encoded payload, or
+// estimated size in virtual mode). The engine performs the actual DFS
+// write, with placement, during replay.
+func (c *Ctx) writeTile(meta store.Meta, ti, tj int, tile *linalg.Tile) error {
+	path := meta.TilePath(ti, tj)
+	if c.virtual() {
+		c.res.Ops = append(c.res.Ops, Op{Write: true, Path: path, Size: meta.EstTileBytes(ti, tj)})
+		return nil
+	}
+	c.res.Ops = append(c.res.Ops, Op{Write: true, Path: path, Data: store.EncodeTile(tile)})
+	return nil
+}
+
+// writeSparseTile records a sparse output tile in the trace.
+func (c *Ctx) writeSparseTile(meta store.Meta, ti, tj int, sp *linalg.CSRTile) error {
+	path := meta.TilePath(ti, tj)
+	if c.virtual() {
+		c.res.Ops = append(c.res.Ops, Op{Write: true, Sparse: true, Path: path, Size: meta.EstTileBytes(ti, tj)})
+		return nil
+	}
+	c.res.Ops = append(c.res.Ops, Op{Write: true, Sparse: true, Path: path, Data: store.EncodeSparseTile(sp)})
+	return nil
+}

@@ -83,6 +83,9 @@ type ExecOptions struct {
 	NoiseFactor float64
 	// Seed overrides the session seed for this run when nonzero.
 	Seed int64
+	// Workers sets the compute parallelism for materialized runs (see
+	// exec.Config.Workers). Virtual time and results are unaffected.
+	Workers int
 }
 
 // ExecResult is one finished execution.
@@ -142,6 +145,7 @@ func (s *Session) execute(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions
 		Materialize: materialize,
 		Seed:        seed,
 		NoiseFactor: noise,
+		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return nil, err

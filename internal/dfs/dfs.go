@@ -373,6 +373,33 @@ func (fs *FS) ReadTracked(path string, readerNode int) ([]byte, ReadSplit, error
 	return out, sp, nil
 }
 
+// Peek returns the file contents without performing any read accounting,
+// locality classification or liveness check of the reader. Compute
+// backends use it to fetch tile payloads for pure computation, while the
+// engine separately replays the read for placement and byte accounting;
+// splitting the two is what lets tile math run on worker goroutines while
+// the accounting stays deterministic. Blocks whose every replica is dead
+// are unavailable, exactly as for Read.
+func (fs *FS) Peek(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if f.virtual {
+		return nil, fmt.Errorf("%w: %s", ErrVirtual, path)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		if len(fs.liveReplicas(b)) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrUnavailable, path)
+		}
+		out = append(out, b.data...)
+	}
+	return out, nil
+}
+
 // Locality reports whether readerNode holds a local replica of every block
 // of path. The scheduler uses this to prefer node-local tasks.
 func (fs *FS) Locality(path string, readerNode int) (bool, error) {

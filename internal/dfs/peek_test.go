@@ -1,0 +1,56 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestPeekReturnsContentWithoutAccounting: Peek is the compute layer's
+// non-accounting read — it must return the full content (across blocks)
+// while leaving every IO counter untouched.
+func TestPeekReturnsContentWithoutAccounting(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 2, BlockSize: 8, Seed: 1})
+	data := []byte("spans multiple dfs blocks for sure")
+	if err := fs.Write("/a", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	got, err := fs.Peek("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("peek mismatch: %q", got)
+	}
+	total := fs.Stats(-1)
+	if total.LocalReadBytes != 0 || total.RackLocalReadBytes != 0 || total.RemoteReadBytes != 0 {
+		t.Fatalf("peek accounted reads: %+v", total)
+	}
+}
+
+func TestPeekErrors(t *testing.T) {
+	fs := New(Config{Nodes: 3, Replication: 1, Seed: 1})
+	if _, err := fs.Peek("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("peek of missing file: %v", err)
+	}
+	if err := fs.WriteVirtual("/v", 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Peek("/v"); !errors.Is(err, ErrVirtual) {
+		t.Fatalf("peek of virtual file: %v", err)
+	}
+	if err := fs.Write("/a", []byte("x"), 2); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := fs.ReplicaNodes("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		fs.KillNode(n)
+	}
+	if _, err := fs.Peek("/a"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("peek with all replicas dead: %v", err)
+	}
+}

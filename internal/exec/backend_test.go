@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"cumulon/internal/compute"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+// gnmfSrc is a full GNMF iteration: k-split products, fused epilogues,
+// element-wise jobs and a masked multiply all in one plan, so a backend
+// equivalence run exercises every task kind.
+const gnmfSrc = `
+input V 26 22 sparse
+input W 26 4
+input H 4 22
+H = H .* (W' * V) ./ ((W' * W) * H)
+W = W .* (V * H') ./ (W * (H * H'))
+output W
+output H
+`
+
+func gnmfData() map[string]*linalg.Dense {
+	return map[string]*linalg.Dense{
+		"V": linalg.RandomSparseDense(26, 22, 0.25, 31),
+		"W": linalg.RandomDense(26, 4, 32).Map(func(x float64) float64 { return x + 0.5 }),
+		"H": linalg.RandomDense(4, 22, 33).Map(func(x float64) float64 { return x + 0.5 }),
+	}
+}
+
+// runGNMF executes the GNMF iteration materialized on a racked, cached,
+// noisy, speculating cluster with the given backend (nil = engine default)
+// and optional fault injector.
+func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, attempt int) bool) (map[string]*linalg.Dense, *RunMetrics) {
+	t.Helper()
+	e, err := New(Config{
+		Cluster:       testCluster(t, 4, 2),
+		Materialize:   true,
+		Seed:          7,
+		NoiseFactor:   0.08,
+		RackSize:      2,
+		CacheFraction: 0.4,
+		Speculation:   true,
+		Backend:       be,
+		FaultInjector: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, m, _ := runProgram(t, e, gnmfSrc,
+		plan.Config{Densities: map[string]float64{"V": 0.25}},
+		gnmfData(), 8)
+	return outs, m
+}
+
+// TestPoolBackendMatchesSequential is the backend-equivalence contract: a
+// worker pool far wider than GOMAXPROCS must reproduce the sequential
+// reference byte-for-byte — identical RunMetrics (virtual times, placement,
+// byte accounting, task durations) and bitwise-identical output matrices.
+func TestPoolBackendMatchesSequential(t *testing.T) {
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), nil)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), nil)
+
+	if !reflect.DeepEqual(seqM, poolM) {
+		t.Fatalf("RunMetrics diverge between backends:\nseq:  %+v\npool: %+v", seqM, poolM)
+	}
+	for name, sd := range seqOuts {
+		pd := poolOuts[name]
+		if pd == nil {
+			t.Fatalf("pool run missing output %s", name)
+		}
+		if !reflect.DeepEqual(sd.Data, pd.Data) {
+			t.Fatalf("output %s not bitwise identical between backends (maxdiff %g)",
+				name, sd.MaxAbsDiff(pd))
+		}
+	}
+
+	// Both must also be right, not merely identical: compare against the
+	// language interpreter oracle.
+	prog, err := lang.Parse(gnmfSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lang.Interpret(prog, gnmfData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"W", "H"} {
+		if !seqOuts[name].AlmostEqual(want[name], 1e-9) {
+			t.Fatalf("output %s off oracle by %g", name, seqOuts[name].MaxAbsDiff(want[name]))
+		}
+	}
+}
+
+// TestPoolBackendMatchesSequentialUnderFaults repeats the equivalence check
+// with deterministic fault injection, so retries replay pool-computed
+// results on the retry node exactly as the sequential engine would.
+func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
+	faults := func(jobID, phase, index, attempt int) bool {
+		return attempt == 0 && (jobID+phase+index)%3 == 0
+	}
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), faults)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), faults)
+
+	if !reflect.DeepEqual(seqM, poolM) {
+		t.Fatalf("RunMetrics diverge under faults:\nseq:  %+v\npool: %+v", seqM, poolM)
+	}
+	for name, sd := range seqOuts {
+		if !reflect.DeepEqual(sd.Data, poolOuts[name].Data) {
+			t.Fatalf("output %s diverges under faults (maxdiff %g)",
+				name, sd.MaxAbsDiff(poolOuts[name]))
+		}
+	}
+	retried := false
+	for _, tr := range seqM.Tasks {
+		if tr.Retries > 0 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("fault injector produced no retries; test exercises nothing")
+	}
+}
+
+// TestConfigZeroValueOverrides covers the pointer-or-default semantics of
+// JobStartupSec and CrossRackPenalty: nil selects the documented defaults,
+// while Float(0) is an honored explicit zero, not "unset".
+func TestConfigZeroValueOverrides(t *testing.T) {
+	d := Config{}.withDefaults()
+	if *d.JobStartupSec != 6 {
+		t.Fatalf("default JobStartupSec = %g, want 6", *d.JobStartupSec)
+	}
+	if *d.CrossRackPenalty != 1 {
+		t.Fatalf("default CrossRackPenalty (no racks) = %g, want 1", *d.CrossRackPenalty)
+	}
+	r := Config{RackSize: 2}.withDefaults()
+	if *r.CrossRackPenalty != 2 {
+		t.Fatalf("default CrossRackPenalty (racked) = %g, want 2", *r.CrossRackPenalty)
+	}
+	z := Config{JobStartupSec: Float(0), CrossRackPenalty: Float(0), RackSize: 2}.withDefaults()
+	if *z.JobStartupSec != 0 {
+		t.Fatalf("explicit JobStartupSec = %g, want 0", *z.JobStartupSec)
+	}
+	if *z.CrossRackPenalty != 0 {
+		t.Fatalf("explicit CrossRackPenalty = %g, want 0", *z.CrossRackPenalty)
+	}
+}
+
+// TestZeroJobStartupShortensRun is the behavioral half: an explicit zero
+// startup must actually remove the per-job overhead from the timeline.
+func TestZeroJobStartupShortensRun(t *testing.T) {
+	run := func(startup *float64) *RunMetrics {
+		e, err := New(Config{
+			Cluster:       testCluster(t, 3, 2),
+			Seed:          7,
+			JobStartupSec: startup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lang.Parse(`
+input A 16 16
+input B 16 16
+C = A * B
+D = C * B
+output D
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.AutoSplit(6)
+		for _, in := range pl.Inputs {
+			if err := e.LoadVirtual(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := e.Run(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	def := run(nil)
+	zero := run(Float(0))
+	if len(def.Jobs) < 2 {
+		t.Fatalf("want a multi-job plan, got %d jobs", len(def.Jobs))
+	}
+	diff := def.TotalSeconds - zero.TotalSeconds
+	want := 6 * float64(len(def.Jobs))
+	if diff < want-1e-6 || diff > want+1e-6 {
+		t.Fatalf("removing job startup saved %.6fs over %d jobs, want %.6fs",
+			diff, len(def.Jobs), want)
+	}
+}

@@ -1,12 +1,74 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"cumulon/internal/cloud"
+	"cumulon/internal/compute"
 	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
 	"cumulon/internal/plan"
 )
+
+// BenchmarkMaterializedMatMul measures real tile compute through the full
+// engine (decode, Gemm, encode, DFS replay) for the sequential reference
+// backend versus an 8-wide worker pool, on an n x n dense multiply. The
+// pool's wall-clock win scales with physical cores (it is injected via
+// Config.Backend, so the benchmark exercises the pool machinery even where
+// GOMAXPROCS would cap Config.Workers); results are byte-for-byte
+// identical either way. Run with -benchtime=1x: one iteration is a full
+// 2n^3-flop execution.
+func BenchmarkMaterializedMatMul(b *testing.B) {
+	mt, err := cloud.TypeByName("m1.large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cloud.NewCluster(mt, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1024, 4096} {
+		src := fmt.Sprintf("input A %d %d\ninput B %d %d\nC = A * B\noutput C\n", n, n, n, n)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := linalg.RandomDense(n, n, 1)
+		bm := linalg.RandomDense(n, n, 2)
+		for _, bk := range []struct {
+			name string
+			be   compute.Backend
+		}{
+			{"sequential", compute.NewSequential()},
+			{"pool8", compute.NewPool(8)},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, bk.name), func(b *testing.B) {
+				b.SetBytes(int64(2 * n * n * 8)) // input bytes per run
+				for i := 0; i < b.N; i++ {
+					pl, err := plan.Compile(prog, plan.Config{TileSize: 512})
+					if err != nil {
+						b.Fatal(err)
+					}
+					pl.AutoSplit(cl.TotalSlots())
+					e, err := New(Config{Cluster: cl, Materialize: true, Seed: 3, Backend: bk.be})
+					if err != nil {
+						b.Fatal(err)
+					}
+					data := map[string]*linalg.Dense{"A": a, "B": bm}
+					for _, in := range pl.Inputs {
+						if err := e.LoadDense(in, data[in.Name]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := e.Run(pl); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkVirtualMatMulRun measures the engine's scheduling throughput:
 // one full virtual execution of a 256-task matrix multiply.

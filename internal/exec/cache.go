@@ -1,14 +1,12 @@
 package exec
 
-import (
-	"cumulon/internal/linalg"
-)
-
 // nodeCache is a per-node LRU tile cache: once a task on a node has read
 // a tile, later tasks on the same node read it from memory instead of the
-// DFS (Cumulon's memory-caching configuration setting). The engine runs
-// tasks sequentially in virtual time, so no locking is needed, and the
-// LRU order — hence timing — is deterministic.
+// DFS (Cumulon's memory-caching configuration setting). Payloads live in
+// the compute layer; the engine only tracks which tiles — and in which
+// format — a node holds, so cache hits are purely an accounting matter.
+// Trace replay is sequential in virtual time, so no locking is needed, and
+// the LRU order — hence timing — is deterministic.
 type nodeCache struct {
 	capacity int64
 	used     int64
@@ -18,11 +16,14 @@ type nodeCache struct {
 }
 
 type cacheEntry struct {
-	path       string
-	size       int64
-	dense      *linalg.Tile
-	sparse     *linalg.CSRTile
-	prev, next *cacheEntry
+	path string
+	size int64
+	// hasDense / hasSparse record which decoded format(s) the node holds.
+	// A materialized read only hits on a matching format (a re-read in the
+	// other format goes back to the DFS, as the pre-compute-layer engine
+	// did); virtual reads hit on any entry.
+	hasDense, hasSparse bool
+	prev, next          *cacheEntry
 }
 
 func newNodeCache(capacity int64) *nodeCache {
@@ -39,7 +40,7 @@ func (c *nodeCache) get(path string) (*cacheEntry, bool) {
 	return e, true
 }
 
-func (c *nodeCache) put(path string, size int64, dense *linalg.Tile, sparse *linalg.CSRTile) {
+func (c *nodeCache) put(path string, size int64, hasDense, hasSparse bool) {
 	if size > c.capacity {
 		return
 	}
@@ -54,7 +55,7 @@ func (c *nodeCache) put(path string, size int64, dense *linalg.Tile, sparse *lin
 		c.used -= evict.size
 		delete(c.entries, evict.path)
 	}
-	e := &cacheEntry{path: path, size: size, dense: dense, sparse: sparse}
+	e := &cacheEntry{path: path, size: size, hasDense: hasDense, hasSparse: hasSparse}
 	c.entries[path] = e
 	c.pushTail(e)
 	c.used += size

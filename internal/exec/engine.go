@@ -15,8 +15,10 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"cumulon/internal/cloud"
+	"cumulon/internal/compute"
 	"cumulon/internal/dfs"
 	"cumulon/internal/linalg"
 	"cumulon/internal/plan"
@@ -37,8 +39,9 @@ type Config struct {
 	// JVM jitter). 0 disables. Typical: 0.08.
 	NoiseFactor float64
 	// JobStartupSec is the fixed per-job overhead (job setup, scheduling
-	// round trips). Hadoop-era default: 6 s.
-	JobStartupSec float64
+	// round trips). nil selects the Hadoop-era default of 6 s; point at 0
+	// (exec.Float(0)) for a zero-overhead job launcher.
+	JobStartupSec *float64
 	// FaultInjector, if set, makes a task attempt fail before doing any
 	// work when it returns true; the scheduler retries it once on another
 	// node. Used to exercise the retry machinery deterministically.
@@ -47,9 +50,10 @@ type Config struct {
 	// zero means a single rack.
 	RackSize int
 	// CrossRackPenalty multiplies the network cost of cross-rack bytes,
-	// modeling oversubscribed rack uplinks. Defaults to 2 when racks are
-	// configured, 1 otherwise.
-	CrossRackPenalty float64
+	// modeling oversubscribed rack uplinks. nil defaults to 2 when racks
+	// are configured, 1 otherwise; exec.Float(0) makes cross-rack bytes
+	// free (an idealized non-blocking core).
+	CrossRackPenalty *float64
 	// CacheFraction, when positive, dedicates that fraction of each
 	// node's memory to an LRU tile cache: tiles a node has already read
 	// are served from memory (Cumulon's memory-caching setting). Off by
@@ -67,20 +71,36 @@ type Config struct {
 	// assumes barriers, so this is an engine extension (ablated in
 	// experiment E15), off by default.
 	OverlapJobs bool
+	// Workers sets the compute parallelism for materialized runs: the
+	// tile math of a scheduling phase fans out across
+	// min(Workers, GOMAXPROCS) goroutines. Virtual time, placement, byte
+	// accounting and task durations are unaffected — the result is
+	// byte-for-byte identical to a sequential run. 0 or 1 computes
+	// sequentially. Virtual runs have no tile math and always run
+	// sequentially.
+	Workers int
+	// Backend overrides the compute backend entirely (tests use it to
+	// force a specific pool width regardless of GOMAXPROCS). When set,
+	// Workers is ignored.
+	Backend compute.Backend
 }
+
+// Float returns a pointer to v, for the Config fields where an explicit
+// zero is meaningful and must be distinguishable from "use the default".
+func Float(v float64) *float64 { return &v }
 
 func (c Config) withDefaults() Config {
 	if c.Replication == 0 {
 		c.Replication = 3
 	}
-	if c.JobStartupSec == 0 {
-		c.JobStartupSec = 6
+	if c.JobStartupSec == nil {
+		c.JobStartupSec = Float(6)
 	}
-	if c.CrossRackPenalty == 0 {
+	if c.CrossRackPenalty == nil {
 		if c.RackSize > 0 {
-			c.CrossRackPenalty = 2
+			c.CrossRackPenalty = Float(2)
 		} else {
-			c.CrossRackPenalty = 1
+			c.CrossRackPenalty = Float(1)
 		}
 	}
 	return c
@@ -93,6 +113,14 @@ type Engine struct {
 	st     *store.Store
 	rng    *rand.Rand
 	caches []*nodeCache // per-node tile caches (nil when disabled)
+	// Resolved scalar config (the Config fields are pointers so that an
+	// explicit zero survives withDefaults).
+	jobStartupSec    float64
+	crossRackPenalty float64
+	// backend computes the tile math; env is the environment its tasks
+	// capture. The engine itself only replays traces.
+	backend compute.Backend
+	env     compute.Env
 }
 
 // New creates an engine with a fresh DFS sized to the cluster.
@@ -107,11 +135,27 @@ func New(cfg Config) (*Engine, error) {
 		Seed:        cfg.Seed + 1,
 		RackSize:    cfg.RackSize,
 	})
+	backend := cfg.Backend
+	if backend == nil {
+		n := cfg.Workers
+		if g := runtime.GOMAXPROCS(0); n > g {
+			n = g
+		}
+		if cfg.Materialize && n > 1 {
+			backend = compute.NewPool(n)
+		} else {
+			backend = compute.NewSequential()
+		}
+	}
 	return &Engine{
-		cfg: cfg,
-		fs:  fs,
-		st:  store.New(fs),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:              cfg,
+		fs:               fs,
+		st:               store.New(fs),
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		jobStartupSec:    *cfg.JobStartupSec,
+		crossRackPenalty: *cfg.CrossRackPenalty,
+		backend:          backend,
+		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize},
 	}, nil
 }
 
@@ -216,7 +260,7 @@ func (e *Engine) liveSlots() []*slotState {
 // runJob executes one job that may start at virtual time start, on the
 // shared slot pool, and returns the job's end time.
 func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMetrics) (float64, error) {
-	jobStart := start + e.cfg.JobStartupSec
+	jobStart := start + e.jobStartupSec
 	phases, cleanup, err := e.buildTasks(j)
 	if err != nil {
 		return 0, err
@@ -260,6 +304,17 @@ type slotState struct {
 // task. Tasks cannot start before notBefore (the phase's release time).
 // Returns the phase end time.
 func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float64, slots []*slotState, m *RunMetrics) (float64, error) {
+	// Hand the phase's compute work to the backend up front: a worker
+	// pool starts the tile math for every task now, while the scheduler
+	// below consumes results in its own deterministic order (fetch blocks
+	// per task). The sequential backend computes lazily inside fetch, so
+	// with it, compute still interleaves with accounting exactly as the
+	// pre-compute-layer engine did.
+	cts := make([]*compute.Task, len(tasks))
+	for _, t := range tasks {
+		cts[t.index] = t.ct
+	}
+	fetch := e.backend.RunBatch(cts)
 	var placements []specPlacement
 	pending := append([]*task(nil), tasks...)
 	end := notBefore
@@ -304,7 +359,7 @@ func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float6
 		t := pending[pick]
 		pending = append(pending[:pick], pending[pick+1:]...)
 
-		rec, base, err := e.executeWithRetry(jobID, phase, t, slot, best, m)
+		rec, base, err := e.executeWithRetry(jobID, phase, t, slot, best, m, fetch)
 		if err != nil {
 			return 0, err
 		}
@@ -404,7 +459,9 @@ func medianOf(v []float64) float64 {
 // node if the attempt fails (the Hadoop task-retry path). The failed
 // attempt still costs its startup time on the original slot. It returns
 // the record plus the task's noise-free base duration (for speculation).
-func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics) (TaskRecord, float64, error) {
+// The compute result is node-independent, so a retry replays the same
+// trace on the new node.
+func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics, fetch func(int) (*compute.Result, error)) (TaskRecord, float64, error) {
 	attempt := 0
 	node := slot.node
 	startAt := slot.freeAt
@@ -416,7 +473,11 @@ func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, sl
 		if injected {
 			err = fmt.Errorf("injected fault")
 		} else {
-			w, err = t.run(node)
+			var res *compute.Result
+			res, err = fetch(t.index)
+			if err == nil {
+				w, err = e.applyResult(res, node)
+			}
 		}
 		if err != nil {
 			if attempt >= 1 {
@@ -463,7 +524,7 @@ func (e *Engine) baseTaskSeconds(w work) float64 {
 		repl = n
 	}
 	disk := w.localBytes + w.writeBytes
-	net := w.rackBytes + int64(float64(w.remoteBytes)*e.cfg.CrossRackPenalty) +
+	net := w.rackBytes + int64(float64(w.remoteBytes)*e.crossRackPenalty) +
 		w.writeBytes*(repl-1)
 	return e.cfg.Cluster.Type.TaskSeconds(e.cfg.Cluster.Slots, w.flops, disk, net)
 }

@@ -686,7 +686,7 @@ output C
 			Cluster:          testCluster(t, 16, 2),
 			Seed:             6,
 			RackSize:         rackSize,
-			CrossRackPenalty: penalty,
+			CrossRackPenalty: Float(penalty),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -1026,13 +1026,13 @@ output X
 
 func TestNodeCacheLRUEviction(t *testing.T) {
 	c := newNodeCache(100)
-	c.put("a", 40, nil, nil)
-	c.put("b", 40, nil, nil)
+	c.put("a", 40, false, false)
+	c.put("b", 40, false, false)
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a should be cached")
 	}
 	// Inserting c (40) must evict the least recently used entry: b.
-	c.put("c", 40, nil, nil)
+	c.put("c", 40, false, false)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -1040,7 +1040,7 @@ func TestNodeCacheLRUEviction(t *testing.T) {
 		t.Fatal("a (recently used) should survive")
 	}
 	// Oversized entries are refused.
-	c.put("huge", 1000, nil, nil)
+	c.put("huge", 1000, false, false)
 	if _, ok := c.get("huge"); ok {
 		t.Fatal("oversized entry should not be cached")
 	}

@@ -3,8 +3,8 @@ package exec
 import (
 	"fmt"
 
+	"cumulon/internal/compute"
 	"cumulon/internal/lang"
-	"cumulon/internal/linalg"
 	"cumulon/internal/plan"
 	"cumulon/internal/store"
 )
@@ -19,42 +19,13 @@ type work struct {
 	writeBytes  int64
 }
 
-// task is one schedulable unit. run executes it attributed to a node and
-// returns the accumulated work; it must be idempotent-safe in the sense
-// that a failed attempt performs no writes (attempt failures are injected
-// before any work).
+// task is one schedulable unit: a compute-layer task plus the engine's
+// placement hint. The tile math runs on the compute backend; the engine
+// replays the resulting trace on whichever node the scheduler picked.
 type task struct {
 	index    int
 	prefNode int // preferred (data-local) node, -1 if none
-	run      func(node int) (work, error)
-}
-
-// span is a half-open chunk [lo, hi) of a tile axis.
-type span struct{ lo, hi int }
-
-// partitionAxis cuts n tile indices into parts balanced chunks.
-func partitionAxis(n, parts int) []span {
-	if parts > n {
-		parts = n
-	}
-	out := make([]span, 0, parts)
-	for p := 0; p < parts; p++ {
-		lo := p * n / parts
-		hi := (p + 1) * n / parts
-		if hi > lo {
-			out = append(out, span{lo, hi})
-		}
-	}
-	return out
-}
-
-// kExtent returns the element extent of inner-dimension tile k.
-func kExtent(kSize, tileSize, k int) int {
-	ext := tileSize
-	if r := kSize - k*tileSize; r < ext {
-		ext = r
-	}
-	return ext
+	ct       *compute.Task
 }
 
 // buildTasks constructs the phase lists of a job plus the temporary
@@ -72,39 +43,25 @@ func (e *Engine) buildTasks(j *plan.Job) ([][]*task, []store.Meta, error) {
 }
 
 func (e *Engine) buildMapTasks(j *plan.Job) []*task {
-	iSpans := partitionAxis(j.ITiles(), j.Split.CI)
-	jSpans := partitionAxis(j.JTiles(), j.Split.CJ)
+	iSpans := compute.PartitionAxis(j.ITiles(), j.Split.CI)
+	jSpans := compute.PartitionAxis(j.JTiles(), j.Split.CJ)
 	var tasks []*task
 	for _, is := range iSpans {
 		for _, js := range jSpans {
-			is, js := is, js
-			t := &task{index: len(tasks)}
-			t.prefNode = e.preferredNode(firstLeafPath(j.Expr, j.Leaves, is.lo, js.lo))
-			t.run = func(node int) (work, error) {
-				c := e.newTaskCtx(node)
-				for ti := is.lo; ti < is.hi; ti++ {
-					for tj := js.lo; tj < js.hi; tj++ {
-						tile, err := c.evalTile(j.Expr, j.Leaves, ti, tj, nil)
-						if err != nil {
-							return work{}, err
-						}
-						if err := c.writeTile(j.Out, ti, tj, tile); err != nil {
-							return work{}, err
-						}
-					}
-				}
-				return c.w, nil
-			}
-			tasks = append(tasks, t)
+			tasks = append(tasks, &task{
+				index:    len(tasks),
+				prefNode: e.preferredNode(firstLeafPath(j.Expr, j.Leaves, is.Lo, js.Lo)),
+				ct:       compute.NewMapTask(e.env, j, is, js),
+			})
 		}
 	}
 	return tasks
 }
 
 func (e *Engine) buildMulTasks(j *plan.Job) ([][]*task, []store.Meta, error) {
-	iSpans := partitionAxis(j.ITiles(), j.Split.CI)
-	jSpans := partitionAxis(j.JTiles(), j.Split.CJ)
-	kSpans := partitionAxis(j.KTiles(), j.Split.CK)
+	iSpans := compute.PartitionAxis(j.ITiles(), j.Split.CI)
+	jSpans := compute.PartitionAxis(j.JTiles(), j.Split.CJ)
+	kSpans := compute.PartitionAxis(j.KTiles(), j.Split.CK)
 	singleK := len(kSpans) == 1
 	if j.MaskLeaf != "" {
 		if !singleK {
@@ -129,38 +86,17 @@ func (e *Engine) buildMulTasks(j *plan.Job) ([][]*task, []store.Meta, error) {
 	for _, is := range iSpans {
 		for _, js := range jSpans {
 			for kc, ks := range kSpans {
-				is, js, ks, kc := is, js, ks, kc
 				outMeta := j.Out
 				epilogue := j.Epilogue
 				if !singleK {
 					outMeta = partials[kc]
 					epilogue = nil
 				}
-				t := &task{index: len(phase1)}
-				t.prefNode = e.preferredNode(firstLeafPath(j.LExpr, j.Leaves, is.lo, ks.lo))
-				t.run = func(node int) (work, error) {
-					c := e.newTaskCtx(node)
-					for ti := is.lo; ti < is.hi; ti++ {
-						for tj := js.lo; tj < js.hi; tj++ {
-							acc, err := c.mulTile(j, ti, tj, ks)
-							if err != nil {
-								return work{}, err
-							}
-							if epilogue != nil {
-								r, cc := j.Out.TileShape(ti, tj)
-								acc, _, _, err = c.evalTileShaped(epilogue, j.Leaves, ti, tj, acc, r, cc)
-								if err != nil {
-									return work{}, err
-								}
-							}
-							if err := c.writeTile(outMeta, ti, tj, acc); err != nil {
-								return work{}, err
-							}
-						}
-					}
-					return c.w, nil
-				}
-				phase1 = append(phase1, t)
+				phase1 = append(phase1, &task{
+					index:    len(phase1),
+					prefNode: e.preferredNode(firstLeafPath(j.LExpr, j.Leaves, is.Lo, ks.Lo)),
+					ct:       compute.NewMulTask(e.env, j, outMeta, epilogue, is, js, ks),
+				})
 			}
 		}
 	}
@@ -172,32 +108,11 @@ func (e *Engine) buildMulTasks(j *plan.Job) ([][]*task, []store.Meta, error) {
 	var phase2 []*task
 	for _, is := range iSpans {
 		for _, js := range jSpans {
-			is, js := is, js
-			t := &task{index: len(phase2)}
-			t.prefNode = e.preferredNode(partials[0].TilePath(is.lo, js.lo))
-			t.run = func(node int) (work, error) {
-				c := e.newTaskCtx(node)
-				for ti := is.lo; ti < is.hi; ti++ {
-					for tj := js.lo; tj < js.hi; tj++ {
-						acc, err := c.sumTiles(partials, ti, tj)
-						if err != nil {
-							return work{}, err
-						}
-						if j.Epilogue != nil {
-							r, cc := j.Out.TileShape(ti, tj)
-							acc, _, _, err = c.evalTileShaped(j.Epilogue, j.Leaves, ti, tj, acc, r, cc)
-							if err != nil {
-								return work{}, err
-							}
-						}
-						if err := c.writeTile(j.Out, ti, tj, acc); err != nil {
-							return work{}, err
-						}
-					}
-				}
-				return c.w, nil
-			}
-			phase2 = append(phase2, t)
+			phase2 = append(phase2, &task{
+				index:    len(phase2),
+				prefNode: e.preferredNode(partials[0].TilePath(is.Lo, js.Lo)),
+				ct:       compute.NewAggTask(e.env, j, partials, is, js),
+			})
 		}
 	}
 	return [][]*task{phase1, phase2}, partials, nil
@@ -206,34 +121,20 @@ func (e *Engine) buildMulTasks(j *plan.Job) ([][]*task, []store.Meta, error) {
 // buildMaskedMulTasks constructs the tasks of a masked multiply: each
 // task computes, for its output chunk, the product restricted to the
 // sparse pattern's stored positions and writes sparse tiles.
-func (e *Engine) buildMaskedMulTasks(j *plan.Job, iSpans, jSpans []span) ([][]*task, []store.Meta, error) {
+func (e *Engine) buildMaskedMulTasks(j *plan.Job, iSpans, jSpans []compute.Span) ([][]*task, []store.Meta, error) {
 	maskRef, ok := j.Leaves[j.MaskLeaf]
 	if !ok {
 		return nil, nil, fmt.Errorf("mask leaf %q unbound", j.MaskLeaf)
 	}
-	fullK := span{0, j.KTiles()}
+	fullK := compute.Span{Lo: 0, Hi: j.KTiles()}
 	var tasks []*task
 	for _, is := range iSpans {
 		for _, js := range jSpans {
-			is, js := is, js
-			t := &task{index: len(tasks)}
-			t.prefNode = e.preferredNode(leafTilePath(maskRef, is.lo, js.lo))
-			t.run = func(node int) (work, error) {
-				c := e.newTaskCtx(node)
-				for ti := is.lo; ti < is.hi; ti++ {
-					for tj := js.lo; tj < js.hi; tj++ {
-						sp, err := c.mulTileMasked(j, maskRef, ti, tj, fullK)
-						if err != nil {
-							return work{}, err
-						}
-						if err := c.writeSparseTile(j.Out, ti, tj, sp); err != nil {
-							return work{}, err
-						}
-					}
-				}
-				return c.w, nil
-			}
-			tasks = append(tasks, t)
+			tasks = append(tasks, &task{
+				index:    len(tasks),
+				prefNode: e.preferredNode(leafTilePath(maskRef, is.Lo, js.Lo)),
+				ct:       compute.NewMaskedMulTask(e.env, j, maskRef, is, js, fullK),
+			})
 		}
 	}
 	return [][]*task{tasks}, nil, nil
@@ -281,415 +182,54 @@ func firstLeafPath(expr lang.Expr, leaves map[string]plan.LeafRef, ti, tj int) s
 	return ""
 }
 
-// taskCtx carries the per-task state: attribution node, accumulated work,
-// and a tile cache so repeated references read once, as a real task would.
-type taskCtx struct {
-	e       *Engine
-	node    int
-	w       work
-	cache   map[string]*linalg.Tile
-	spCache map[string]*linalg.CSRTile
-}
-
-func (e *Engine) newTaskCtx(node int) *taskCtx {
-	return &taskCtx{e: e, node: node, cache: map[string]*linalg.Tile{}, spCache: map[string]*linalg.CSRTile{}}
-}
-
-func (c *taskCtx) virtual() bool { return !c.e.cfg.Materialize }
-
-// accountRead performs DFS read accounting for path once per task; a
-// node-cache hit skips the DFS entirely.
-func (c *taskCtx) accountRead(path string) error {
-	if _, ok := c.cache[path]; ok {
-		return nil
-	}
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		if entry, ok := nc.get(path); ok {
-			c.w.cacheBytes += entry.size
-			c.cache[path] = nil
-			return nil
-		}
-	}
-	sp, err := c.e.fs.ReadAccount(path, c.node)
-	if err != nil {
-		return err
-	}
-	c.w.localBytes += sp.Local
-	c.w.rackBytes += sp.RackLocal
-	c.w.remoteBytes += sp.Remote
-	c.cache[path] = nil // mark as read
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		nc.put(path, sp.Total(), nil, nil)
-	}
-	return nil
-}
-
-// readDenseTile reads and decodes the dense tile at (ti, tj) of meta,
-// densifying sparse storage. Returns nil in virtual mode (bytes are still
-// accounted).
-func (c *taskCtx) readDenseTile(meta store.Meta, ti, tj int) (*linalg.Tile, error) {
-	path := meta.TilePath(ti, tj)
-	if c.virtual() {
-		return nil, c.accountRead(path)
-	}
-	if t, ok := c.cache[path]; ok && t != nil {
-		return t, nil
-	}
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		if e, ok := nc.get(path); ok && e.dense != nil {
-			c.w.cacheBytes += e.size
-			c.cache[path] = e.dense
-			return e.dense, nil
-		}
-	}
-	raw, sp, err := c.e.fs.ReadTracked(path, c.node)
-	if err != nil {
-		return nil, err
-	}
-	c.w.localBytes += sp.Local
-	c.w.rackBytes += sp.RackLocal
-	c.w.remoteBytes += sp.Remote
-	var tile *linalg.Tile
-	if meta.Sparse {
-		sp, err := store.DecodeSparseTile(raw)
-		if err != nil {
-			return nil, err
-		}
-		tile = sp.ToDense()
-	} else {
-		tile, err = store.DecodeTile(raw)
-		if err != nil {
-			return nil, err
-		}
-	}
-	c.cache[path] = tile
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		nc.put(path, sp.Total(), tile, nil)
-	}
-	return tile, nil
-}
-
-// readSparseTile reads a CSR tile (sparse fast path).
-func (c *taskCtx) readSparseTile(meta store.Meta, ti, tj int) (*linalg.CSRTile, error) {
-	path := meta.TilePath(ti, tj)
-	if c.virtual() {
-		return nil, c.accountRead(path)
-	}
-	if t, ok := c.spCache[path]; ok {
-		return t, nil
-	}
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		if e, ok := nc.get(path); ok && e.sparse != nil {
-			c.w.cacheBytes += e.size
-			c.spCache[path] = e.sparse
-			return e.sparse, nil
-		}
-	}
-	raw, rs, err := c.e.fs.ReadTracked(path, c.node)
-	if err != nil {
-		return nil, err
-	}
-	c.w.localBytes += rs.Local
-	c.w.rackBytes += rs.RackLocal
-	c.w.remoteBytes += rs.Remote
-	sp, err := store.DecodeSparseTile(raw)
-	if err != nil {
-		return nil, err
-	}
-	c.spCache[path] = sp
-	if nc := c.e.cacheFor(c.node); nc != nil {
-		nc.put(path, rs.Total(), nil, sp)
-	}
-	return sp, nil
-}
-
-// readLeafTile reads the tile at *logical* coordinates (ti, tj) of a leaf,
-// transposing on the fly for transposed access paths.
-func (c *taskCtx) readLeafTile(ref plan.LeafRef, ti, tj int) (*linalg.Tile, error) {
-	ri, rj := ti, tj
-	if ref.Transposed {
-		ri, rj = tj, ti
-	}
-	t, err := c.readDenseTile(ref.Meta, ri, rj)
-	if err != nil || t == nil {
-		return nil, err
-	}
-	if ref.Transposed {
-		return linalg.Transpose(t), nil
-	}
-	return t, nil
-}
-
-// leafShape returns the logical shape of leaf tile (ti, tj).
-func leafShape(ref plan.LeafRef, ti, tj int) (rows, cols int) {
-	if ref.Transposed {
-		r, c := ref.Meta.TileShape(tj, ti)
-		return c, r
-	}
-	return ref.Meta.TileShape(ti, tj)
-}
-
-// evalTile evaluates a fused element-wise expression at logical tile
-// coordinates (ti, tj). mm binds the MMVar placeholder (epilogues). In
-// virtual mode the returned tile is nil but all reads and flops are
-// accounted against the task.
-func (c *taskCtx) evalTile(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile) (*linalg.Tile, error) {
-	tile, _, _, err := c.evalTileShaped(e, leaves, ti, tj, mm, -1, -1)
-	return tile, err
-}
-
-// evalTileShaped is evalTile tracking shapes so virtual mode can count
-// flops without data. mmRows/mmCols give MMVar's shape when mm is nil.
-func (c *taskCtx) evalTileShaped(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile, mmRows, mmCols int) (*linalg.Tile, int, int, error) {
-	switch x := e.(type) {
-	case lang.Var:
-		if x.Name == plan.MMVar {
-			if mm != nil {
-				return mm, mm.Rows, mm.Cols, nil
-			}
-			return nil, mmRows, mmCols, nil
-		}
-		ref, ok := leaves[x.Name]
-		if !ok {
-			return nil, 0, 0, fmt.Errorf("unbound leaf %s", x.Name)
-		}
-		rows, cols := leafShape(ref, ti, tj)
-		t, err := c.readLeafTile(ref, ti, tj)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		return t, rows, cols, nil
-	case lang.Transpose:
-		// Transposes are pushed to leaves by the planner; a residual one
-		// here is a planner bug.
-		return nil, 0, 0, fmt.Errorf("unexpected transpose in physical expression %s", e)
-	case lang.Add:
-		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a + b })
-	case lang.Sub:
-		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a - b })
-	case lang.ElemMul:
-		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a * b })
-	case lang.ElemDiv:
-		return c.zipTiles(x.L, x.R, leaves, ti, tj, mm, mmRows, mmCols, func(a, b float64) float64 { return a / b })
-	case lang.Scale:
-		t, rows, cols, err := c.evalTileShaped(x.X, leaves, ti, tj, mm, mmRows, mmCols)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		c.w.flops += int64(rows) * int64(cols)
-		if t == nil {
-			return nil, rows, cols, nil
-		}
-		return linalg.Scale(t, x.S), rows, cols, nil
-	case lang.Apply:
-		t, rows, cols, err := c.evalTileShaped(x.X, leaves, ti, tj, mm, mmRows, mmCols)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		c.w.flops += int64(rows) * int64(cols)
-		if t == nil {
-			return nil, rows, cols, nil
-		}
-		fn, ok := lang.Funcs[x.Fn]
-		if !ok {
-			return nil, 0, 0, fmt.Errorf("unknown function %s", x.Fn)
-		}
-		return linalg.Map(t, fn), rows, cols, nil
-	default:
-		return nil, 0, 0, fmt.Errorf("unexpected node %T in physical expression", e)
-	}
-}
-
-func (c *taskCtx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj int, mm *linalg.Tile, mmRows, mmCols int, f func(a, b float64) float64) (*linalg.Tile, int, int, error) {
-	lt, rows, cols, err := c.evalTileShaped(l, leaves, ti, tj, mm, mmRows, mmCols)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	rt, _, _, err := c.evalTileShaped(r, leaves, ti, tj, mm, mmRows, mmCols)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	c.w.flops += int64(rows) * int64(cols)
-	if lt == nil || rt == nil {
-		return nil, rows, cols, nil
-	}
-	return linalg.Zip(lt, rt, f), rows, cols, nil
-}
-
-// mulTile computes the (ti, tj) output tile contribution of a Mul job over
-// the inner-dimension tile span ks, evaluating the prologue trees per tile
-// and using the sparse kernel when the left operand is a bare sparse leaf.
-func (c *taskCtx) mulTile(j *plan.Job, ti, tj int, ks span) (*linalg.Tile, error) {
-	outRows, outCols := j.Out.TileShape(ti, tj)
-	var acc *linalg.Tile
-	if !c.virtual() {
-		acc = linalg.NewTile(outRows, outCols)
-	}
-	lRef, lBare := bareSparseLeaf(j.LExpr, j.Leaves)
-	for k := ks.lo; k < ks.hi; k++ {
-		kk := kExtent(j.KSize, j.Out.TileSize, k)
-		rt, _, _, err := c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
-		if err != nil {
-			return nil, err
-		}
-		if lBare {
-			if err := c.mulSparseLeft(acc, lRef, ti, k, rt, kk, outCols); err != nil {
-				return nil, err
+// applyResult replays a computed task's trace attributed to a node: read
+// accounting against the DFS and the node's memory cache, and the actual
+// DFS writes with replica placement. Replay is always sequential in
+// scheduling order — it is the only consumer of the placement rng and the
+// caches — which is what keeps the engine deterministic regardless of how
+// (and on how many goroutines) the trace was computed.
+func (e *Engine) applyResult(res *compute.Result, node int) (work, error) {
+	w := work{flops: res.Flops}
+	virtual := !e.cfg.Materialize
+	for _, op := range res.Ops {
+		if op.Write {
+			if virtual {
+				w.writeBytes += op.Size
+				if err := e.fs.WriteVirtual(op.Path, op.Size, node); err != nil {
+					return w, err
+				}
+			} else {
+				w.writeBytes += int64(len(op.Data))
+				if err := e.fs.Write(op.Path, op.Data, node); err != nil {
+					return w, err
+				}
 			}
 			continue
 		}
-		lt, _, _, err := c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
+		// Read op. The trace holds at most one per (path, format) per
+		// task, so per-task read dedup is already done.
+		nc := e.cacheFor(node)
+		if nc != nil {
+			if entry, ok := nc.get(op.Path); ok {
+				// Virtual entries hit on any access; materialized ones
+				// only when the node holds the requested format.
+				hit := virtual || (op.Sparse && entry.hasSparse) || (!op.Sparse && entry.hasDense)
+				if hit {
+					w.cacheBytes += entry.size
+					continue
+				}
+			}
+		}
+		sp, err := e.fs.ReadAccount(op.Path, node)
 		if err != nil {
-			return nil, err
+			return w, err
 		}
-		c.w.flops += linalg.GemmFlops(outRows, kk, outCols)
-		if acc != nil {
-			linalg.Gemm(acc, lt, rt)
-		}
-	}
-	return acc, nil
-}
-
-// mulTileMasked computes the (ti, tj) sparse output tile of a masked
-// multiply: the product of the prologue tiles restricted to the pattern's
-// stored positions, at cost 2*nnz(pattern tile)*K.
-func (c *taskCtx) mulTileMasked(j *plan.Job, maskRef plan.LeafRef, ti, tj int, ks span) (*linalg.CSRTile, error) {
-	pat, err := c.readLeafSparseTile(maskRef, ti, tj)
-	if err != nil {
-		return nil, err
-	}
-	outRows, outCols := j.Out.TileShape(ti, tj)
-	var acc *linalg.CSRTile
-	for k := ks.lo; k < ks.hi; k++ {
-		kk := kExtent(j.KSize, j.Out.TileSize, k)
-		lt, _, _, err := c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
-		if err != nil {
-			return nil, err
-		}
-		rt, _, _, err := c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
-		if err != nil {
-			return nil, err
-		}
-		if c.virtual() {
-			estNNZ := maskRef.Meta.EffDensity() * float64(outRows) * float64(outCols)
-			c.w.flops += int64(2 * estNNZ * float64(kk))
-			continue
-		}
-		c.w.flops += 2 * int64(pat.NNZ()) * int64(kk)
-		part := linalg.MaskedGemm(pat, lt, rt)
-		if acc == nil {
-			acc = part
-		} else {
-			acc = linalg.SpZip(acc, part, func(a, b float64) float64 { return a + b })
+		w.localBytes += sp.Local
+		w.rackBytes += sp.RackLocal
+		w.remoteBytes += sp.Remote
+		if nc != nil {
+			nc.put(op.Path, sp.Total(), !virtual && !op.Sparse, !virtual && op.Sparse)
 		}
 	}
-	return acc, nil
-}
-
-// readLeafSparseTile reads a sparse leaf tile at logical coordinates,
-// transposing in CSR form for transposed access paths. Returns nil in
-// virtual mode (bytes still accounted).
-func (c *taskCtx) readLeafSparseTile(ref plan.LeafRef, ti, tj int) (*linalg.CSRTile, error) {
-	ri, rj := ti, tj
-	if ref.Transposed {
-		ri, rj = tj, ti
-	}
-	sp, err := c.readSparseTile(ref.Meta, ri, rj)
-	if err != nil || sp == nil {
-		return nil, err
-	}
-	if ref.Transposed {
-		return sp.Transpose(), nil
-	}
-	return sp, nil
-}
-
-// writeSparseTile stores a sparse output tile (virtual or real).
-func (c *taskCtx) writeSparseTile(meta store.Meta, ti, tj int, sp *linalg.CSRTile) error {
-	path := meta.TilePath(ti, tj)
-	if c.virtual() {
-		size := meta.EstTileBytes(ti, tj)
-		c.w.writeBytes += size
-		return c.e.fs.WriteVirtual(path, size, c.node)
-	}
-	raw := store.EncodeSparseTile(sp)
-	c.w.writeBytes += int64(len(raw))
-	return c.e.fs.Write(path, raw, c.node)
-}
-
-// mulSparseLeft accumulates the contribution of a bare sparse left leaf at
-// logical coordinates (ti, k) times the dense right tile rt.
-func (c *taskCtx) mulSparseLeft(acc *linalg.Tile, ref plan.LeafRef, ti, k int, rt *linalg.Tile, kk, outCols int) error {
-	ri, rj := ti, k
-	if ref.Transposed {
-		ri, rj = k, ti
-	}
-	sp, err := c.readSparseTile(ref.Meta, ri, rj)
-	if err != nil {
-		return err
-	}
-	if c.virtual() {
-		rows, _ := leafShape(ref, ti, k)
-		estNNZ := ref.Meta.EffDensity() * float64(rows) * float64(kk)
-		c.w.flops += int64(2 * estNNZ * float64(outCols))
-		return nil
-	}
-	c.w.flops += 2 * int64(sp.NNZ()) * int64(outCols)
-	if ref.Transposed {
-		linalg.SpGemmDenseTA(acc, sp, rt)
-	} else {
-		linalg.SpGemmDense(acc, sp, rt)
-	}
-	return nil
-}
-
-// bareSparseLeaf reports whether expr is a single sparse leaf reference.
-func bareSparseLeaf(e lang.Expr, leaves map[string]plan.LeafRef) (plan.LeafRef, bool) {
-	v, ok := e.(lang.Var)
-	if !ok {
-		return plan.LeafRef{}, false
-	}
-	ref, ok := leaves[v.Name]
-	if !ok || !ref.Meta.Sparse {
-		return plan.LeafRef{}, false
-	}
-	return ref, true
-}
-
-// sumTiles reads and sums the (ti, tj) tiles of the given partial
-// matrices (aggregation phase of a k-split product).
-func (c *taskCtx) sumTiles(partials []store.Meta, ti, tj int) (*linalg.Tile, error) {
-	var acc *linalg.Tile
-	for i, pm := range partials {
-		t, err := c.readDenseTile(pm, ti, tj)
-		if err != nil {
-			return nil, err
-		}
-		rows, cols := pm.TileShape(ti, tj)
-		if i > 0 {
-			c.w.flops += int64(rows) * int64(cols)
-		}
-		if c.virtual() {
-			continue
-		}
-		if acc == nil {
-			acc = t.Clone()
-		} else {
-			linalg.AddInto(acc, t)
-		}
-	}
-	return acc, nil
-}
-
-// writeTile stores an output tile (virtual or real) and accounts it.
-func (c *taskCtx) writeTile(meta store.Meta, ti, tj int, tile *linalg.Tile) error {
-	path := meta.TilePath(ti, tj)
-	if c.virtual() {
-		size := meta.EstTileBytes(ti, tj)
-		c.w.writeBytes += size
-		return c.e.fs.WriteVirtual(path, size, c.node)
-	}
-	raw := store.EncodeTile(tile)
-	c.w.writeBytes += int64(len(raw))
-	return c.e.fs.Write(path, raw, c.node)
+	return w, nil
 }

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"cumulon/internal/cloud"
+	"cumulon/internal/compute"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
 )
@@ -90,6 +92,14 @@ type Config struct {
 	Materialize bool
 	Seed        int64
 	NoiseFactor float64
+	// Workers sets the compute parallelism for materialized values: each
+	// operator's arithmetic row-stripes across min(Workers, GOMAXPROCS)
+	// goroutines via the shared compute layer. Results and timing are
+	// unaffected. 0 or 1 computes sequentially.
+	Workers int
+	// Backend overrides the compute backend (tests use it to force a
+	// specific pool width). When set, Workers is ignored.
+	Backend compute.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +177,7 @@ func (m matInfo) bytes() int64 {
 type Engine struct {
 	cfg Config
 	rng *rand.Rand
+	be  compute.Backend // runs the materialized arithmetic
 }
 
 // New creates a baseline engine.
@@ -175,7 +186,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Cluster.Nodes <= 0 || cfg.Cluster.Slots <= 0 {
 		return nil, fmt.Errorf("mapred: invalid cluster %+v", cfg.Cluster)
 	}
-	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	be := cfg.Backend
+	if be == nil {
+		n := cfg.Workers
+		if g := runtime.GOMAXPROCS(0); n > g {
+			n = g
+		}
+		if cfg.Materialize && n > 1 {
+			be = compute.NewPool(n)
+		} else {
+			be = compute.NewSequential()
+		}
+	}
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), be: be}, nil
 }
 
 // Run executes the program. densities estimates sparse-input densities by
@@ -231,7 +254,7 @@ func (e *Engine) evalExpr(label string, expr lang.Expr, env map[string]matInfo, 
 		}
 		out := matInfo{rows: in.cols, cols: in.rows, sparse: in.sparse, density: in.density}
 		if in.value != nil {
-			out.value = in.value.T()
+			out.value = compute.TransposeDense(e.be, in.value)
 		}
 		// Transpose is a full shuffle job: every block changes key.
 		e.emitJob(m, label, "transpose", in.bytes(), in.bytes(), out.bytes(), 0, true)
@@ -243,7 +266,7 @@ func (e *Engine) evalExpr(label string, expr lang.Expr, env map[string]matInfo, 
 		}
 		out := matInfo{rows: in.rows, cols: in.cols}
 		if in.value != nil {
-			out.value = in.value.Scale(x.S)
+			out.value = compute.ScaleDense(e.be, in.value, x.S)
 		}
 		elems := int64(in.rows) * int64(in.cols)
 		e.emitJob(m, label, "scale", in.bytes(), 0, out.bytes(), elems, false)
@@ -255,7 +278,7 @@ func (e *Engine) evalExpr(label string, expr lang.Expr, env map[string]matInfo, 
 		}
 		out := matInfo{rows: in.rows, cols: in.cols}
 		if in.value != nil {
-			out.value = in.value.Map(lang.Funcs[x.Fn])
+			out.value = compute.MapDense(e.be, in.value, lang.Funcs[x.Fn])
 		}
 		elems := int64(in.rows) * int64(in.cols)
 		e.emitJob(m, label, x.Fn, in.bytes(), 0, out.bytes(), elems, false)
@@ -272,7 +295,11 @@ func (e *Engine) evalExpr(label string, expr lang.Expr, env map[string]matInfo, 
 		}
 		out := matInfo{rows: li.rows, cols: li.cols}
 		if li.value != nil && ri.value != nil {
-			out.value = applyBinary(x, li.value, ri.value)
+			f, ok := compute.ZipFunc(x)
+			if !ok {
+				return matInfo{}, fmt.Errorf("mapred: not a binary op: %T", x)
+			}
+			out.value = compute.ZipDense(e.be, li.value, ri.value, f)
 		}
 		elems := int64(li.rows) * int64(li.cols)
 		// Aligning the two block streams requires shuffling both inputs.
@@ -301,7 +328,7 @@ func (e *Engine) emitMatMul(label string, li, ri matInfo, m *RunMetrics) (matInf
 	}
 	out := matInfo{rows: li.rows, cols: ri.cols}
 	if li.value != nil && ri.value != nil {
-		out.value = li.value.Mul(ri.value)
+		out.value = compute.MulDense(e.be, li.value, ri.value)
 	}
 	bs := e.cfg.BlockSize
 	ib := ceilDiv(li.rows, bs)
@@ -434,20 +461,6 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 	m.TotalReadBytes += inputBytes
 	m.TotalWriteBytes += outputBytes
 	m.TotalFlops += flops
-}
-
-func applyBinary(e lang.Expr, l, r *linalg.Dense) *linalg.Dense {
-	switch e.(type) {
-	case lang.Add:
-		return l.Add(r)
-	case lang.Sub:
-		return l.Sub(r)
-	case lang.ElemMul:
-		return l.ElemMul(r)
-	case lang.ElemDiv:
-		return l.ElemDiv(r)
-	}
-	panic("mapred: not a binary op")
 }
 
 func binaryOperands(e lang.Expr) (l, r lang.Expr) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cumulon/internal/bench"
+	"cumulon/internal/obs"
 )
 
 func main() {
@@ -23,10 +24,19 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-experiment timing")
 	format := flag.String("format", "text", "table format: text, markdown, or csv")
 	workers := flag.Int("workers", 0, "parallel compute workers for materialized runs")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace-event JSON of the benchmarked engine runs to this file")
+	metricsOut := flag.String("metrics", "",
+		"write a Prometheus-style text metrics snapshot of the benchmarked runs to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	s := bench.NewSuite(*seed)
 	s.Workers = *workers
+	var tr *obs.Trace
+	if *traceOut != "" || *metricsOut != "" {
+		tr = obs.NewTrace()
+		s.Recorder = tr
+	}
 	run := func(id string) error {
 		t0 := time.Now()
 		if _, err := s.RunOneFormat(id, os.Stdout, *format); err != nil {
@@ -42,12 +52,50 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		for _, e := range bench.All() {
+			if err := run(e.ID); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
-	for _, e := range bench.All() {
-		if err := run(e.ID); err != nil {
+	if tr != nil {
+		if err := writeObs(tr, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeObs exports the trace recorded across the benchmarked runs.
+func writeObs(tr *obs.Trace, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath == "-" {
+		return obs.Snapshot(tr).Write(os.Stdout)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Snapshot(tr).Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }

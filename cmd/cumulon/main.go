@@ -29,6 +29,7 @@ import (
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 )
 
@@ -54,6 +55,13 @@ func run() error {
 	showPlan := flag.Bool("plan", true, "print the compiled physical plan")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	dot := flag.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto; \"-\" for stdout)")
+	metricsOut := flag.String("metrics", "",
+		"write a Prometheus-style text metrics snapshot of the run to this file (\"-\" for stdout)")
+	timelineOut := flag.String("timeline", "",
+		"write the per-task timeline CSV to this file (\"-\" for stdout)")
+	critpath := flag.Bool("critpath", false, "print the critical-path analysis of the run")
 	flag.Parse()
 	if *asJSON {
 		*showPlan = false
@@ -105,9 +113,39 @@ func run() error {
 	if *materialize {
 		opts.Inputs = randomInputs(prog, cfg, *seed)
 	}
+	var tr *obs.Trace
+	if *traceOut != "" || *metricsOut != "" || *critpath {
+		tr = obs.NewTrace()
+		opts.Recorder = tr
+	}
 	res, err := sess.Run(prog, cfg, opts)
 	if err != nil {
 		return err
+	}
+
+	if *timelineOut != "" {
+		if err := writeTo(*timelineOut, res.Metrics.TimelineCSV); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, tr.WriteChrome); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, func(w io.Writer) error { return obs.Snapshot(tr).Write(w) }); err != nil {
+			return err
+		}
+	}
+	if *critpath {
+		cp, err := tr.CriticalPath()
+		if err != nil {
+			return err
+		}
+		if err := cp.Write(os.Stdout); err != nil {
+			return err
+		}
 	}
 
 	if *asJSON {
@@ -167,6 +205,22 @@ func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// writeTo writes with fn to the named file, or to stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readSource(path string) (string, error) {

@@ -110,7 +110,7 @@ output D
 // runVirtualCfg is runVirtual with a caller-supplied plan configuration
 // (used by the ablations to flip planner features).
 func (s *Suite) runVirtualCfg(prog *lang.Program, cfg plan.Config, cl cloud.Cluster) (*exec.RunMetrics, error) {
-	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl})
+	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Recorder: s.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"cumulon/internal/cloud"
 	"cumulon/internal/exec"
 	"cumulon/internal/model"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 	"cumulon/internal/sim"
 	"cumulon/internal/workloads"
@@ -63,10 +64,14 @@ func (s *Suite) E07TaskModelAccuracy() (*Result, error) {
 
 // E08SimAccuracy reproduces the program-level model validation: the
 // optimizer's simulator predictions versus actual engine runs, across
-// cluster sizes.
+// cluster sizes. Both sides record span traces, so beyond the end-to-end
+// relative error the comparison is structural: obs.DiffTraces aligns the
+// predicted and executed job spans by job id and reports the worst
+// per-job error, catching compensating mispredictions a matching total
+// would hide.
 func (s *Suite) E08SimAccuracy() (*Result, error) {
 	r := newResult("E08", "Simulator vs engine: GNMF program time across cluster sizes",
-		"nodes", "predicted s", "actual s", "rel err")
+		"nodes", "predicted s", "actual s", "rel err", "worst job rel err")
 	mt, err := cloud.TypeByName(cmpType)
 	if err != nil {
 		return nil, err
@@ -78,6 +83,7 @@ func (s *Suite) E08SimAccuracy() (*Result, error) {
 	w := workloads.GNMF(40000, 20000, 10, 1, 0.02)
 	cfg := plan.Config{TileSize: tileSize, Densities: w.Densities}
 	worst := 0.0
+	worstJob := 0.0
 	for _, nodes := range []int{2, 4, 8, 16, 32} {
 		cl := s.cluster(cmpType, nodes, cmpSlots)
 		pl, err := plan.Compile(w.Prog, cfg)
@@ -85,8 +91,12 @@ func (s *Suite) E08SimAccuracy() (*Result, error) {
 			return nil, err
 		}
 		pl.AutoSplit(cl.TotalSlots())
-		pred := sim.New(tm, cl).PredictPlan(pl)
-		m, err := s.runVirtual(w.Prog, cfg, cl)
+		predTrace := obs.NewTrace()
+		p := sim.New(tm, cl)
+		p.Rec = predTrace
+		pred := p.PredictPlan(pl)
+		actTrace := obs.NewTrace()
+		m, err := s.runVirtualRec(w.Prog, cfg, cl, actTrace)
 		if err != nil {
 			return nil, err
 		}
@@ -94,10 +104,19 @@ func (s *Suite) E08SimAccuracy() (*Result, error) {
 		if rel > worst {
 			worst = rel
 		}
-		r.Table.AddRow(d0(nodes), f1(pred), f1(m.TotalSeconds), f3(rel))
+		d, err := obs.DiffTraces(actTrace, predTrace)
+		if err != nil {
+			return nil, err
+		}
+		if d.WorstJobRelErr > worstJob {
+			worstJob = d.WorstJobRelErr
+		}
+		r.Table.AddRow(d0(nodes), f1(pred), f1(m.TotalSeconds), f3(rel), f3(d.WorstJobRelErr))
 		r.Checks[fmt.Sprintf("rel:%d", nodes)] = rel
+		r.Checks[fmt.Sprintf("jobworst:%d", nodes)] = d.WorstJobRelErr
 	}
 	r.Checks["worst"] = worst
+	r.Checks["jobworst"] = worstJob
 	return r, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"cumulon/internal/core"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 )
 
@@ -101,6 +102,10 @@ type Suite struct {
 	// knob exists so materialized comparisons and the integration tests
 	// that drive the suite finish faster on multi-core hosts.
 	Workers int
+	// Recorder, when set, receives the observability spans of every
+	// engine run the suite performs (the bench binary points it at an
+	// obs.Trace for its -trace/-metrics flags). nil disables recording.
+	Recorder obs.Recorder
 }
 
 // NewSuite constructs a suite; all randomness derives from seed.
@@ -125,7 +130,13 @@ func (s *Suite) cluster(typeName string, nodes, slots int) cloud.Cluster {
 // runVirtual compiles and executes a program in virtual mode on the given
 // cluster, with AutoSplit physical parameters, returning the run metrics.
 func (s *Suite) runVirtual(prog *lang.Program, cfg plan.Config, cl cloud.Cluster) (*exec.RunMetrics, error) {
-	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Workers: s.Workers})
+	return s.runVirtualRec(prog, cfg, cl, s.Recorder)
+}
+
+// runVirtualRec is runVirtual recording into a caller-supplied recorder
+// (E08 uses a fresh obs.Trace per run for the predicted-vs-actual diff).
+func (s *Suite) runVirtualRec(prog *lang.Program, cfg plan.Config, cl cloud.Cluster, rec obs.Recorder) (*exec.RunMetrics, error) {
+	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Workers: s.Workers, Recorder: rec})
 	if err != nil {
 		return nil, err
 	}

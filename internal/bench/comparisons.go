@@ -38,6 +38,7 @@ func (s *Suite) runMR(w workloads.Workload, nodes int) (*mapred.RunMetrics, erro
 		Seed:        s.Seed,
 		NoiseFactor: 0.08,
 		Workers:     s.Workers,
+		Recorder:    s.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -48,6 +48,15 @@ func (m MachineType) FlopsPerSec() float64 { return m.ECU * flopsPerECU }
 // settings): CPU-bound jobs want slots ≈ cores or more, I/O-bound jobs
 // want fewer slots.
 func (m MachineType) TaskSeconds(slots int, flops, localBytes, netBytes int64) float64 {
+	startup, cpu, disk, net := m.TaskBreakdown(slots, flops, localBytes, netBytes)
+	return startup + cpu + disk + net
+}
+
+// TaskBreakdown returns the additive components of TaskSeconds — fixed
+// startup, CPU time, local-disk time and network time — so observability
+// and the critical-path analyzer can attribute where a task's virtual
+// seconds went. TaskSeconds is exactly their sum.
+func (m MachineType) TaskBreakdown(slots int, flops, localBytes, netBytes int64) (startup, cpu, disk, net float64) {
 	if slots <= 0 {
 		panic("cloud: slots must be positive")
 	}
@@ -56,17 +65,17 @@ func (m MachineType) TaskSeconds(slots int, flops, localBytes, netBytes int64) f
 	// total/slots per slot when slots > cores.
 	diskRate := m.DiskMBps * 1e6 / float64(slots)
 	netRate := m.NetMBps * 1e6 / float64(slots)
-	t := m.StartupSec
+	startup = m.StartupSec
 	if flops > 0 {
-		t += float64(flops) / cpuRate
+		cpu = float64(flops) / cpuRate
 	}
 	if localBytes > 0 {
-		t += float64(localBytes) / diskRate
+		disk = float64(localBytes) / diskRate
 	}
 	if netBytes > 0 {
-		t += float64(netBytes) / netRate
+		net = float64(netBytes) / netRate
 	}
-	return t
+	return startup, cpu, disk, net
 }
 
 // Catalog returns the machine-type offering used throughout the

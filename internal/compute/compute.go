@@ -34,6 +34,13 @@ type Env struct {
 	// nothing, and writes record estimated sizes only — but the trace and
 	// flop counts are produced exactly as the engine's accounting needs.
 	Virtual bool
+	// TileOps turns on per-task kernel statistics (Result.Kernels) for
+	// observability. Off (the default), tasks skip all tracking work so
+	// the hot path is unaffected when tracing is disabled. Workers
+	// accumulate the stats privately in their Result; the engine emits
+	// them at replay, in scheduling order, so traces stay deterministic
+	// regardless of compute parallelism.
+	TileOps bool
 }
 
 // Op is one recorded I/O operation of a task, in program order. The engine
@@ -53,12 +60,24 @@ type Op struct {
 	Size int64
 }
 
+// KernelStat aggregates one kind of tile-level kernel invocation within
+// a task: how many times it ran and the flops it spent. Only recorded
+// when Env.TileOps is on.
+type KernelStat struct {
+	Kind  string
+	Count int
+	Flops int64
+}
+
 // Result is the outcome of one computed task: its I/O trace and the flops
 // it spent. The result is immutable once returned and node-independent, so
 // the engine may replay it on whichever node the task is (re)scheduled on.
 type Result struct {
 	Ops   []Op
 	Flops int64
+	// Kernels holds per-kind tile-op statistics in first-use order, nil
+	// unless Env.TileOps is on.
+	Kernels []KernelStat
 }
 
 // Task is one unit of compute work. Fn runs the tile math against a Ctx

@@ -79,6 +79,24 @@ func newCtx(env Env, sc *scratch) *Ctx {
 
 func (c *Ctx) virtual() bool { return c.env.Virtual }
 
+// addFlops charges n flops to the task and, when Env.TileOps is on, to
+// the named kernel's aggregate statistics (kept in first-use order so the
+// engine's replay-time events are deterministic).
+func (c *Ctx) addFlops(kind string, n int64) {
+	c.res.Flops += n
+	if !c.env.TileOps {
+		return
+	}
+	for i := range c.res.Kernels {
+		if c.res.Kernels[i].Kind == kind {
+			c.res.Kernels[i].Count++
+			c.res.Kernels[i].Flops += n
+			return
+		}
+	}
+	c.res.Kernels = append(c.res.Kernels, KernelStat{Kind: kind, Count: 1, Flops: n})
+}
+
 // trace appends a read op unless the path was already traced this task.
 func (c *Ctx) traceRead(path string, sparse bool) {
 	c.res.Ops = append(c.res.Ops, Op{Path: path, Sparse: sparse})
@@ -223,7 +241,7 @@ func (c *Ctx) evalTileShaped(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		c.res.Flops += int64(rows) * int64(cols)
+		c.addFlops("scale", int64(rows)*int64(cols))
 		if t == nil {
 			return nil, rows, cols, nil
 		}
@@ -233,7 +251,7 @@ func (c *Ctx) evalTileShaped(e lang.Expr, leaves map[string]plan.LeafRef, ti, tj
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		c.res.Flops += int64(rows) * int64(cols)
+		c.addFlops("apply", int64(rows)*int64(cols))
 		if t == nil {
 			return nil, rows, cols, nil
 		}
@@ -256,7 +274,7 @@ func (c *Ctx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj in
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	c.res.Flops += int64(rows) * int64(cols)
+	c.addFlops("zip", int64(rows)*int64(cols))
 	if lt == nil || rt == nil {
 		return nil, rows, cols, nil
 	}
@@ -291,7 +309,7 @@ func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.res.Flops += linalg.GemmFlops(outRows, kk, outCols)
+		c.addFlops("gemm", linalg.GemmFlops(outRows, kk, outCols))
 		if acc != nil {
 			linalg.Gemm(acc, lt, rt)
 		}
@@ -321,10 +339,10 @@ func (c *Ctx) mulTileMasked(j *plan.Job, maskRef plan.LeafRef, ti, tj int, ks Sp
 		}
 		if c.virtual() {
 			estNNZ := maskRef.Meta.EffDensity() * float64(outRows) * float64(outCols)
-			c.res.Flops += int64(2 * estNNZ * float64(kk))
+			c.addFlops("masked-gemm", int64(2*estNNZ*float64(kk)))
 			continue
 		}
-		c.res.Flops += 2 * int64(pat.NNZ()) * int64(kk)
+		c.addFlops("masked-gemm", 2*int64(pat.NNZ())*int64(kk))
 		part := linalg.MaskedGemm(pat, lt, rt)
 		if acc == nil {
 			acc = part
@@ -367,10 +385,10 @@ func (c *Ctx) mulSparseLeft(acc *linalg.Tile, ref plan.LeafRef, ti, k int, rt *l
 	if c.virtual() {
 		rows, _ := leafShape(ref, ti, k)
 		estNNZ := ref.Meta.EffDensity() * float64(rows) * float64(kk)
-		c.res.Flops += int64(2 * estNNZ * float64(outCols))
+		c.addFlops("spgemm", int64(2*estNNZ*float64(outCols)))
 		return nil
 	}
-	c.res.Flops += 2 * int64(sp.NNZ()) * int64(outCols)
+	c.addFlops("spgemm", 2*int64(sp.NNZ())*int64(outCols))
 	if ref.Transposed {
 		linalg.SpGemmDenseTA(acc, sp, rt)
 	} else {
@@ -405,7 +423,7 @@ func (c *Ctx) sumTiles(partials []store.Meta, ti, tj int) (*linalg.Tile, error) 
 		}
 		rows, cols := pm.TileShape(ti, tj)
 		if i > 0 {
-			c.res.Flops += int64(rows) * int64(cols)
+			c.addFlops("add", int64(rows)*int64(cols))
 		}
 		if c.virtual() {
 			continue

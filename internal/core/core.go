@@ -20,6 +20,7 @@ import (
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
+	"cumulon/internal/obs"
 	"cumulon/internal/opt"
 	"cumulon/internal/plan"
 )
@@ -86,6 +87,9 @@ type ExecOptions struct {
 	// Workers sets the compute parallelism for materialized runs (see
 	// exec.Config.Workers). Virtual time and results are unaffected.
 	Workers int
+	// Recorder receives the run's observability spans (see obs.Recorder);
+	// nil disables recording at zero cost.
+	Recorder obs.Recorder
 }
 
 // ExecResult is one finished execution.
@@ -146,6 +150,7 @@ func (s *Session) execute(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions
 		Seed:        seed,
 		NoiseFactor: noise,
 		Workers:     opts.Workers,
+		Recorder:    opts.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -1,12 +1,14 @@
 package exec
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"cumulon/internal/compute"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 )
 
@@ -32,9 +34,9 @@ func gnmfData() map[string]*linalg.Dense {
 }
 
 // runGNMF executes the GNMF iteration materialized on a racked, cached,
-// noisy, speculating cluster with the given backend (nil = engine default)
-// and optional fault injector.
-func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, attempt int) bool) (map[string]*linalg.Dense, *RunMetrics) {
+// noisy, speculating cluster with the given backend (nil = engine default),
+// optional fault injector and optional span recorder.
+func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, attempt int) bool, rec obs.Recorder) (map[string]*linalg.Dense, *RunMetrics) {
 	t.Helper()
 	e, err := New(Config{
 		Cluster:       testCluster(t, 4, 2),
@@ -46,6 +48,7 @@ func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, 
 		Speculation:   true,
 		Backend:       be,
 		FaultInjector: faults,
+		Recorder:      rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,8 +64,8 @@ func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, 
 // reference byte-for-byte — identical RunMetrics (virtual times, placement,
 // byte accounting, task durations) and bitwise-identical output matrices.
 func TestPoolBackendMatchesSequential(t *testing.T) {
-	seqOuts, seqM := runGNMF(t, compute.NewSequential(), nil)
-	poolOuts, poolM := runGNMF(t, compute.NewPool(8), nil)
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), nil, nil)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), nil, nil)
 
 	if !reflect.DeepEqual(seqM, poolM) {
 		t.Fatalf("RunMetrics diverge between backends:\nseq:  %+v\npool: %+v", seqM, poolM)
@@ -102,8 +105,8 @@ func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
 	faults := func(jobID, phase, index, attempt int) bool {
 		return attempt == 0 && (jobID+phase+index)%3 == 0
 	}
-	seqOuts, seqM := runGNMF(t, compute.NewSequential(), faults)
-	poolOuts, poolM := runGNMF(t, compute.NewPool(8), faults)
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), faults, nil)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), faults, nil)
 
 	if !reflect.DeepEqual(seqM, poolM) {
 		t.Fatalf("RunMetrics diverge under faults:\nseq:  %+v\npool: %+v", seqM, poolM)
@@ -122,6 +125,40 @@ func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
 	}
 	if !retried {
 		t.Fatal("fault injector produced no retries; test exercises nothing")
+	}
+}
+
+// TestBackendTraceExportsIdentical extends the backend-equivalence
+// contract to observability: the sequential and worker-pool backends must
+// produce byte-identical Chrome trace exports for the same seed — span
+// recording happens only at replay, in scheduling order, so compute
+// parallelism must leave no fingerprint (not even in the per-task kernel
+// events, which workers accumulate privately).
+func TestBackendTraceExportsIdentical(t *testing.T) {
+	faults := func(jobID, phase, index, attempt int) bool {
+		return attempt == 0 && (jobID+phase+index)%3 == 0
+	}
+	seqTr := obs.NewTrace()
+	poolTr := obs.NewTrace()
+	runGNMF(t, compute.NewSequential(), faults, seqTr)
+	runGNMF(t, compute.NewPool(8), faults, poolTr)
+
+	var seqOut, poolOut bytes.Buffer
+	if err := seqTr.WriteChrome(&seqOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := poolTr.WriteChrome(&poolOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqOut.Bytes(), poolOut.Bytes()) {
+		t.Fatalf("trace exports diverge between backends:\nseq %d bytes, pool %d bytes",
+			seqOut.Len(), poolOut.Len())
+	}
+	if len(seqTr.SpansOf(obs.KindTask)) == 0 {
+		t.Fatal("trace recorded no task spans; test exercises nothing")
+	}
+	if len(seqTr.Events()) == 0 {
+		t.Fatal("trace recorded no kernel events; test exercises nothing")
 	}
 }
 

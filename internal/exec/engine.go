@@ -21,6 +21,7 @@ import (
 	"cumulon/internal/compute"
 	"cumulon/internal/dfs"
 	"cumulon/internal/linalg"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 	"cumulon/internal/store"
 )
@@ -83,6 +84,11 @@ type Config struct {
 	// force a specific pool width regardless of GOMAXPROCS). When set,
 	// Workers is ignored.
 	Backend compute.Backend
+	// Recorder receives the run's observability spans (program → job →
+	// phase → task, plus per-task kernel events). nil disables recording
+	// at zero cost. Spans are recorded only from the scheduling
+	// goroutine, so traces are deterministic regardless of Backend.
+	Recorder obs.Recorder
 }
 
 // Float returns a pointer to v, for the Config fields where an explicit
@@ -121,6 +127,7 @@ type Engine struct {
 	// capture. The engine itself only replays traces.
 	backend compute.Backend
 	env     compute.Env
+	rec     obs.Recorder
 }
 
 // New creates an engine with a fresh DFS sized to the cluster.
@@ -147,6 +154,7 @@ func New(cfg Config) (*Engine, error) {
 			backend = compute.NewSequential()
 		}
 	}
+	rec := obs.OrNop(cfg.Recorder)
 	return &Engine{
 		cfg:              cfg,
 		fs:               fs,
@@ -155,7 +163,8 @@ func New(cfg Config) (*Engine, error) {
 		jobStartupSec:    *cfg.JobStartupSec,
 		crossRackPenalty: *cfg.CrossRackPenalty,
 		backend:          backend,
-		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize},
+		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize, TileOps: rec.Enabled()},
+		rec:              rec,
 	}, nil
 }
 
@@ -210,6 +219,7 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("exec: no live nodes")
 	}
+	prog := e.rec.Start(obs.KindProgram, "program", obs.NoSpan, 0)
 	jobEnds := map[int]float64{}
 	globalEnd := 0.0
 	for _, j := range jobs {
@@ -227,7 +237,7 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 				}
 			}
 		}
-		end, err := e.runJob(j, ready, slots, m)
+		end, err := e.runJob(j, ready, slots, m, prog)
 		if err != nil {
 			return nil, fmt.Errorf("exec: %s: %w", j, err)
 		}
@@ -237,6 +247,7 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 		}
 	}
 	m.TotalSeconds = globalEnd
+	e.rec.End(prog, globalEnd)
 	for _, im := range p.Intermediates() {
 		e.st.DeleteMatrix(im)
 	}
@@ -259,17 +270,22 @@ func (e *Engine) liveSlots() []*slotState {
 
 // runJob executes one job that may start at virtual time start, on the
 // shared slot pool, and returns the job's end time.
-func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMetrics) (float64, error) {
+func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMetrics, prog obs.SpanID) (float64, error) {
 	jobStart := start + e.jobStartupSec
 	phases, cleanup, err := e.buildTasks(j)
 	if err != nil {
 		return 0, err
 	}
+	jspan := obs.NoSpan
+	if e.rec.Enabled() {
+		jspan = e.rec.Start(obs.KindJob, j.Name, prog, start)
+		e.rec.SetAttrs(jspan, obs.Attrs{JobID: j.ID, Deps: j.Deps})
+	}
 	clock := jobStart
 	nPhases := 0
 	nTasks := 0
 	for phase, tasks := range phases {
-		end, err := e.schedulePhase(j.ID, phase, tasks, clock, slots, m)
+		end, err := e.schedulePhase(j.ID, phase, tasks, clock, slots, m, jspan)
 		if err != nil {
 			return 0, err
 		}
@@ -277,6 +293,7 @@ func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMe
 		nPhases++
 		nTasks += len(tasks)
 	}
+	e.rec.End(jspan, clock)
 	for _, c := range cleanup {
 		e.st.DeleteMatrix(c)
 	}
@@ -303,7 +320,12 @@ type slotState struct {
 // task that prefers its node if one exists, otherwise the oldest pending
 // task. Tasks cannot start before notBefore (the phase's release time).
 // Returns the phase end time.
-func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float64, slots []*slotState, m *RunMetrics) (float64, error) {
+func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float64, slots []*slotState, m *RunMetrics, jspan obs.SpanID) (float64, error) {
+	pspan := obs.NoSpan
+	if e.rec.Enabled() {
+		pspan = e.rec.Start(obs.KindPhase, fmt.Sprintf("j%d/p%d", jobID, phase), jspan, notBefore)
+		e.rec.SetAttrs(pspan, obs.Attrs{JobID: jobID, Phase: phase})
+	}
 	// Hand the phase's compute work to the backend up front: a worker
 	// pool starts the tile math for every task now, while the scheduler
 	// below consumes results in its own deterministic order (fetch blocks
@@ -359,11 +381,11 @@ func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float6
 		t := pending[pick]
 		pending = append(pending[:pick], pending[pick+1:]...)
 
-		rec, base, err := e.executeWithRetry(jobID, phase, t, slot, best, m, fetch)
+		rec, base, res, err := e.executeWithRetry(jobID, phase, t, slot, best, m, fetch)
 		if err != nil {
 			return 0, err
 		}
-		placements = append(placements, specPlacement{taskIdx: len(m.Tasks) - 1, base: base, slot: slot})
+		placements = append(placements, specPlacement{taskIdx: len(m.Tasks) - 1, base: base, slot: slot, res: res})
 		if rec.StartSec+rec.Seconds > end {
 			end = rec.StartSec + rec.Seconds
 		}
@@ -371,15 +393,91 @@ func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float6
 	if e.cfg.Speculation && len(placements) > 1 {
 		end = e.speculate(placements, slots, m, end)
 	}
+	// Task spans are recorded only now, after speculation has rewritten any
+	// straggler's finish time and node, so the trace reflects the final
+	// schedule. Placements are in scheduling order, keeping the export
+	// deterministic.
+	if e.rec.Enabled() {
+		for _, p := range placements {
+			e.recordTaskSpan(pspan, m.Tasks[p.taskIdx], p.res, notBefore)
+		}
+		e.rec.End(pspan, end)
+	}
 	return end, nil
 }
 
-// specPlacement records where a task ran and its noise-free duration, for
-// the speculation pass.
+// recordTaskSpan emits the span of one finished task: its placement and
+// byte attributes, a per-category breakdown normalized to sum exactly to
+// the task's (noisy, possibly speculation-shortened) duration, and one
+// event per kernel kind the compute layer aggregated.
+func (e *Engine) recordTaskSpan(pspan obs.SpanID, rec TaskRecord, res *compute.Result, notBefore float64) {
+	id := e.rec.Start(obs.KindTask, fmt.Sprintf("j%d/p%d/t%d", rec.JobID, rec.Phase, rec.Index), pspan, rec.StartSec)
+	b := e.taskBreakdown(rec)
+	if t := b.Total(); t > 0 {
+		b = b.Scale(rec.Seconds / t)
+	} else if rec.Seconds > 0 {
+		b[obs.CatCompute] = rec.Seconds
+	}
+	queue := rec.StartSec - notBefore
+	if queue < 0 {
+		queue = 0
+	}
+	e.rec.SetAttrs(id, obs.Attrs{
+		JobID: rec.JobID, Phase: rec.Phase, Index: rec.Index,
+		Node: rec.Node, Slot: rec.Slot,
+		Flops:          rec.Flops,
+		LocalReadBytes: rec.LocalReadBytes, RackReadBytes: rec.RackReadBytes,
+		RemoteReadBytes: rec.RemoteReadBytes, CacheReadBytes: rec.CacheReadBytes,
+		WriteBytes: rec.WriteBytes,
+		Retries:    rec.Retries,
+		QueueSec:   queue,
+		Breakdown:  b,
+	})
+	if res != nil {
+		for _, k := range res.Kernels {
+			e.rec.Event(id, fmt.Sprintf("%s x%d (%d flops)", k.Kind, k.Count, k.Flops), rec.StartSec)
+		}
+	}
+	e.rec.End(id, rec.StartSec+rec.Seconds)
+}
+
+// taskBreakdown attributes a task's noise-free duration to time
+// categories, mirroring baseTaskSeconds: the disk component splits
+// between local reads and writes by bytes, the network component between
+// rack reads, penalty-weighted remote reads and replica write streams.
+func (e *Engine) taskBreakdown(rec TaskRecord) obs.Breakdown {
+	repl := int64(e.cfg.Replication)
+	if n := int64(e.cfg.Cluster.Nodes); repl > n {
+		repl = n
+	}
+	disk := rec.LocalReadBytes + rec.WriteBytes
+	rackW := float64(rec.RackReadBytes)
+	remoteW := float64(int64(float64(rec.RemoteReadBytes) * e.crossRackPenalty))
+	writeW := float64(rec.WriteBytes * (repl - 1))
+	net := int64(rackW + remoteW + writeW)
+	startup, cpu, diskSec, netSec := e.cfg.Cluster.Type.TaskBreakdown(e.cfg.Cluster.Slots, rec.Flops, disk, net)
+	var b obs.Breakdown
+	b[obs.CatStartup] = startup
+	b[obs.CatCompute] = cpu
+	if disk > 0 {
+		b[obs.CatLocalRead] += diskSec * float64(rec.LocalReadBytes) / float64(disk)
+		b[obs.CatWrite] += diskSec * float64(rec.WriteBytes) / float64(disk)
+	}
+	if netW := rackW + remoteW + writeW; netW > 0 {
+		b[obs.CatRackRead] += netSec * rackW / netW
+		b[obs.CatRemoteRead] += netSec * remoteW / netW
+		b[obs.CatWrite] += netSec * writeW / netW
+	}
+	return b
+}
+
+// specPlacement records where a task ran, its noise-free duration (for
+// the speculation pass) and its compute result (for span recording).
 type specPlacement struct {
 	taskIdx int // index into m.Tasks
 	base    float64
 	slot    *slotState
+	res     *compute.Result
 }
 
 // speculate applies Hadoop-style speculative execution to a finished
@@ -461,7 +559,7 @@ func medianOf(v []float64) float64 {
 // the record plus the task's noise-free base duration (for speculation).
 // The compute result is node-independent, so a retry replays the same
 // trace on the new node.
-func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics, fetch func(int) (*compute.Result, error)) (TaskRecord, float64, error) {
+func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics, fetch func(int) (*compute.Result, error)) (TaskRecord, float64, *compute.Result, error) {
 	attempt := 0
 	node := slot.node
 	startAt := slot.freeAt
@@ -469,11 +567,11 @@ func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, sl
 	for {
 		injected := e.cfg.FaultInjector != nil && e.cfg.FaultInjector(jobID, phase, t.index, attempt)
 		var w work
+		var res *compute.Result
 		var err error
 		if injected {
 			err = fmt.Errorf("injected fault")
 		} else {
-			var res *compute.Result
 			res, err = fetch(t.index)
 			if err == nil {
 				w, err = e.applyResult(res, node)
@@ -481,7 +579,7 @@ func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, sl
 		}
 		if err != nil {
 			if attempt >= 1 {
-				return TaskRecord{}, 0, fmt.Errorf("task %d/%d/%d failed after retry: %w", jobID, phase, t.index, err)
+				return TaskRecord{}, 0, nil, fmt.Errorf("task %d/%d/%d failed after retry: %w", jobID, phase, t.index, err)
 			}
 			// Charge the failed attempt's startup, then move to another node.
 			startAt += e.cfg.Cluster.Type.StartupSec
@@ -503,7 +601,7 @@ func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, sl
 			Retries: retries,
 		}
 		m.addTask(rec)
-		return rec, base, nil
+		return rec, base, res, nil
 	}
 }
 

@@ -54,11 +54,14 @@ type RunMetrics struct {
 	TotalCacheBytes int64
 }
 
-// TimelineCSV writes one row per task (job, phase, index, node, slot,
-// start, end, flops) so runs can be plotted as Gantt charts.
+// TimelineCSV writes one row per task — placement, timing, flops, the
+// byte classes of its I/O and its retry count — so runs can be plotted
+// as Gantt charts and locality/retry behavior inspected per task.
 func (m *RunMetrics) TimelineCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops"}); err != nil {
+	header := []string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops",
+		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries"}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, t := range m.Tasks {
@@ -68,6 +71,12 @@ func (m *RunMetrics) TimelineCSV(w io.Writer) error {
 			strconv.FormatFloat(t.StartSec, 'f', 3, 64),
 			strconv.FormatFloat(t.StartSec+t.Seconds, 'f', 3, 64),
 			strconv.FormatInt(t.Flops, 10),
+			strconv.FormatInt(t.LocalReadBytes, 10),
+			strconv.FormatInt(t.RackReadBytes, 10),
+			strconv.FormatInt(t.RemoteReadBytes, 10),
+			strconv.FormatInt(t.CacheReadBytes, 10),
+			strconv.FormatInt(t.WriteBytes, 10),
+			strconv.Itoa(t.Retries),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -21,7 +21,11 @@ func TestTimelineCSVEmptyRun(t *testing.T) {
 	if len(recs) != 1 {
 		t.Fatalf("empty run emitted %d CSV records, want header only", len(recs))
 	}
-	header := []string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops"}
+	header := []string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops",
+		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries"}
+	if len(recs[0]) != len(header) {
+		t.Fatalf("header has %d columns, want %d", len(recs[0]), len(header))
+	}
 	for i, h := range header {
 		if recs[0][i] != h {
 			t.Fatalf("header column %d = %q, want %q", i, recs[0][i], h)
@@ -36,6 +40,8 @@ func TestTimelineCSVRowContent(t *testing.T) {
 	m.addTask(TaskRecord{
 		JobID: 2, Phase: 1, Index: 5, Node: 3, Slot: 7,
 		Flops: 1234, StartSec: 1.5, Seconds: 2.25,
+		LocalReadBytes: 11, RackReadBytes: 22, RemoteReadBytes: 33,
+		CacheReadBytes: 44, WriteBytes: 55, Retries: 1,
 	})
 	var sb strings.Builder
 	if err := m.TimelineCSV(&sb); err != nil {
@@ -48,7 +54,8 @@ func TestTimelineCSVRowContent(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("got %d CSV records, want header + 1 row", len(recs))
 	}
-	want := []string{"2", "1", "5", "3", "7", "1.500", "3.750", "1234"}
+	want := []string{"2", "1", "5", "3", "7", "1.500", "3.750", "1234",
+		"11", "22", "33", "44", "55", "1"}
 	for i, w := range want {
 		if recs[1][i] != w {
 			t.Fatalf("row column %d = %q, want %q", i, recs[1][i], w)

@@ -34,6 +34,7 @@ import (
 	"cumulon/internal/compute"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
+	"cumulon/internal/obs"
 )
 
 // Strategy selects the matrix-multiplication MapReduce algorithm.
@@ -100,6 +101,11 @@ type Config struct {
 	// Backend overrides the compute backend (tests use it to force a
 	// specific pool width). When set, Workers is ignored.
 	Backend compute.Backend
+	// Recorder receives the run's observability spans. The baseline engine
+	// records coarsely — one program span, one span per MR job with
+	// map/shuffle/reduce phases — enough for the critical-path analyzer
+	// and the predicted-vs-actual differ. nil disables recording.
+	Recorder obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +184,10 @@ type Engine struct {
 	cfg Config
 	rng *rand.Rand
 	be  compute.Backend // runs the materialized arithmetic
+	rec obs.Recorder
+	// prog is the program span of the Run in progress (emitJob parents
+	// its job spans under it).
+	prog obs.SpanID
 }
 
 // New creates a baseline engine.
@@ -198,7 +208,7 @@ func New(cfg Config) (*Engine, error) {
 			be = compute.NewSequential()
 		}
 	}
-	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), be: be}, nil
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), be: be, rec: obs.OrNop(cfg.Recorder)}, nil
 }
 
 // Run executes the program. densities estimates sparse-input densities by
@@ -221,6 +231,7 @@ func (e *Engine) Run(p *lang.Program, densities map[string]float64, inputs map[s
 		env[in.Name] = mi
 	}
 	m := &RunMetrics{}
+	e.prog = e.rec.Start(obs.KindProgram, "program", obs.NoSpan, 0)
 	for si, st := range p.Stmts {
 		mi, err := e.evalExpr(fmt.Sprintf("s%d", si), st.Expr, env, m)
 		if err != nil {
@@ -228,6 +239,7 @@ func (e *Engine) Run(p *lang.Program, densities map[string]float64, inputs map[s
 		}
 		env[st.Name] = mi
 	}
+	e.rec.End(e.prog, m.TotalSeconds)
 	outs := map[string]*linalg.Dense{}
 	if e.cfg.Materialize {
 		for _, o := range p.Outputs {
@@ -450,6 +462,10 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 	if c.NoiseFactor > 0 {
 		secs *= 1 + c.NoiseFactor*e.rng.ExpFloat64()
 	}
+	if e.rec.Enabled() {
+		e.recordJobSpans(len(m.Jobs), label, op, m.TotalSeconds, secs,
+			c.JobStartupSec, mapPhase, shufflePhase, reducePhase)
+	}
 	m.Jobs = append(m.Jobs, JobRecord{
 		Name: label, Op: op,
 		MapTasks: maps, ReduceTasks: reduces,
@@ -461,6 +477,44 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 	m.TotalReadBytes += inputBytes
 	m.TotalWriteBytes += outputBytes
 	m.TotalFlops += flops
+}
+
+// recordJobSpans emits the span tree of one MR job: the job span under
+// the program span, then one phase (with a single coarse task) per
+// nonzero stage, each attributed to one time category — map time to
+// compute, shuffle to remote reads, reduce to writes. The noise-free
+// stage durations are scaled so the phases tile [start, start+secs]
+// exactly, with the job-startup gap left before the first phase (the
+// critical-path analyzer attributes it to startup).
+func (e *Engine) recordJobSpans(jobID int, label, op string, start, secs, startup, mapSec, shufSec, redSec float64) {
+	scale := 1.0
+	if sum := startup + mapSec + shufSec + redSec; sum > 0 {
+		scale = secs / sum
+	}
+	j := e.rec.Start(obs.KindJob, label+":"+op, e.prog, start)
+	e.rec.SetAttrs(j, obs.Attrs{JobID: jobID})
+	clock := start + startup*scale
+	phase := 0
+	emit := func(name string, sec float64, cat obs.Category) {
+		if sec <= 0 {
+			return
+		}
+		full := fmt.Sprintf("%s/%s", label, name)
+		p := e.rec.Start(obs.KindPhase, full, j, clock)
+		e.rec.SetAttrs(p, obs.Attrs{JobID: jobID, Phase: phase})
+		t := e.rec.Start(obs.KindTask, full, p, clock)
+		var b obs.Breakdown
+		b[cat] = sec * scale
+		e.rec.SetAttrs(t, obs.Attrs{JobID: jobID, Phase: phase, Breakdown: b})
+		clock += sec * scale
+		e.rec.End(t, clock)
+		e.rec.End(p, clock)
+		phase++
+	}
+	emit("map", mapSec, obs.CatCompute)
+	emit("shuffle", shufSec, obs.CatRemoteRead)
+	emit("reduce", redSec, obs.CatWrite)
+	e.rec.End(j, start+secs)
 }
 
 func binaryOperands(e lang.Expr) (l, r lang.Expr) {

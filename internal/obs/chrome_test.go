@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildSampleTrace records a two-job run with phases, tasks on two
+// node×slot tracks, and a tile-op event.
+func buildSampleTrace() *Trace {
+	tr := NewTrace()
+	prog := tr.Start(KindProgram, "program", NoSpan, 0)
+	j0 := tr.Start(KindJob, "job 0", prog, 0)
+	tr.SetAttrs(j0, Attrs{JobID: 0})
+	p0 := tr.Start(KindPhase, "j0/p0", j0, 6)
+	t0 := tr.Start(KindTask, "j0/p0/t0", p0, 6)
+	tr.SetAttrs(t0, Attrs{JobID: 0, Node: 0, Slot: 0, Flops: 100,
+		LocalReadBytes: 10, WriteBytes: 20, Breakdown: Breakdown{CatCompute: 14}})
+	tr.Event(t0, "gemm x3", 6)
+	tr.End(t0, 20)
+	t1 := tr.Start(KindTask, "j0/p0/t1", p0, 6)
+	tr.SetAttrs(t1, Attrs{JobID: 0, Node: 1, Slot: 2, Flops: 50})
+	tr.End(t1, 18)
+	tr.End(p0, 20)
+	tr.End(j0, 20)
+	j1 := tr.Start(KindJob, "job 1", prog, 20)
+	tr.SetAttrs(j1, Attrs{JobID: 1, Deps: []int{0}})
+	p1 := tr.Start(KindPhase, "j1/p0", j1, 26)
+	t2 := tr.Start(KindTask, "j1/p0/t0", p1, 26)
+	tr.SetAttrs(t2, Attrs{JobID: 1, Node: 1, Slot: 3})
+	tr.End(t2, 40)
+	tr.End(p1, 40)
+	tr.End(j1, 40)
+	tr.End(prog, 40)
+	return tr
+}
+
+// TestChromeTraceRoundTrip is the schema test: the export must be valid
+// JSON in the trace-event format, every complete event must carry a
+// resolvable span/parent id, and every span must nest inside its parent
+// both in time and in the recorded hierarchy.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	spans := map[int64]Span{}
+	for _, s := range tr.Spans() {
+		spans[int64(s.ID)] = s
+	}
+	nComplete, nMeta, nInstant := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			nMeta++
+			continue
+		case "i":
+			nInstant++
+			continue
+		case "X":
+			nComplete++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Phase)
+		}
+		id := int64(ev.Args["span_id"].(float64))
+		parent := int64(ev.Args["parent_id"].(float64))
+		s, ok := spans[id]
+		if !ok {
+			t.Fatalf("event %q carries unknown span_id %d", ev.Name, id)
+		}
+		if int64(s.Parent) != parent {
+			t.Fatalf("span %d parent mismatch: export %d, trace %d", id, parent, s.Parent)
+		}
+		if s.Parent != NoSpan {
+			p := spans[int64(s.Parent)]
+			if s.Start < p.Start-1e-9 || s.End > p.End+1e-9 {
+				t.Fatalf("span %q [%g,%g] escapes parent %q [%g,%g]",
+					s.Name, s.Start, s.End, p.Name, p.Start, p.End)
+			}
+		}
+		// Times are microseconds of virtual time.
+		if ev.TS != s.Start*1e6 || ev.Dur != (s.End-s.Start)*1e6 {
+			t.Fatalf("span %q exported ts/dur %g/%g, want %g/%g",
+				s.Name, ev.TS, ev.Dur, s.Start*1e6, (s.End-s.Start)*1e6)
+		}
+		// Track assignment: tasks on (node+1, slot); control spans on pid 0.
+		if s.Kind == KindTask {
+			if ev.PID != s.Attrs.Node+1 || ev.TID != s.Attrs.Slot {
+				t.Fatalf("task %q on track (%d,%d), want (%d,%d)",
+					s.Name, ev.PID, ev.TID, s.Attrs.Node+1, s.Attrs.Slot)
+			}
+		} else if ev.PID != schedulerPID {
+			t.Fatalf("control span %q on pid %d, want %d", s.Name, ev.PID, schedulerPID)
+		}
+	}
+	if nComplete != len(spans) {
+		t.Fatalf("exported %d complete events for %d spans", nComplete, len(spans))
+	}
+	if nInstant != 1 {
+		t.Fatalf("exported %d instant events, want 1", nInstant)
+	}
+	if nMeta == 0 {
+		t.Fatal("no track-naming metadata exported")
+	}
+
+	// Export determinism: re-exporting yields identical bytes.
+	var again bytes.Buffer
+	if err := tr.WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("repeated exports differ byte-wise")
+	}
+}

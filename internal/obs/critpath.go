@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Step is one contiguous interval of the critical path. Task steps point
+// at the span that bounds progress; synthetic steps (queue, startup)
+// cover scheduling gaps where no span was running on the binding chain.
+type Step struct {
+	// SpanID is the bounding span, or NoSpan for synthetic steps.
+	SpanID SpanID
+	Kind   Kind
+	Name   string
+	Start  float64
+	End    float64
+	// Breakdown attributes the step's duration to time categories; it
+	// sums to End-Start.
+	Breakdown Breakdown
+}
+
+// Seconds returns the step's duration.
+func (s Step) Seconds() float64 { return s.End - s.Start }
+
+// CriticalPath is the chain of spans that bounds a program's wall-clock:
+// removing time anywhere else cannot shorten the run. Steps tile the
+// program interval exactly, so Categories sums to TotalSeconds.
+type CriticalPath struct {
+	TotalSeconds float64
+	Steps        []Step // in increasing time order, contiguous
+	Categories   Breakdown
+}
+
+// CriticalPath walks the recorded span DAG backwards from the program
+// end: within a phase it follows the chain of tasks whose finish times
+// bound each other's starts (same-slot succession), across phases the
+// barrier edges, across jobs the dependency edges recorded on job spans
+// (falling back to "whichever job ends at this instant" under barrier
+// scheduling). Unexplainable gaps become queue steps and the per-job
+// launch gap becomes a startup step, so the returned steps cover 100% of
+// the program interval.
+func (t *Trace) CriticalPath() (*CriticalPath, error) {
+	prog, err := t.Program()
+	if err != nil {
+		return nil, err
+	}
+	spans := t.Spans()
+	kids := childIndex(spans)
+
+	jobs := kids[prog.ID]
+	jobByID := map[int]Span{}
+	for _, j := range jobs {
+		if j.Kind == KindJob {
+			jobByID[j.Attrs.JobID] = j
+		}
+	}
+	// All task spans, for same-slot predecessor searches across jobs
+	// (OverlapJobs shares slots between concurrent jobs).
+	var allTasks []Span
+	for _, s := range spans {
+		if s.Kind == KindTask {
+			allTasks = append(allTasks, s)
+		}
+	}
+
+	total := prog.End - prog.Start
+	eps := 1e-9 * (1 + total)
+	cp := &CriticalPath{TotalSeconds: total}
+	var rev []Step // steps collected newest-first
+
+	push := func(s Step) {
+		if s.End-s.Start > eps/2 {
+			rev = append(rev, s)
+		}
+	}
+	queueStep := func(start, end float64, name string) Step {
+		var b Breakdown
+		b[CatQueue] = end - start
+		return Step{Kind: KindPhase, Name: name, Start: start, End: end, Breakdown: b}
+	}
+
+	// walkJob consumes [j.Start, t] and returns j.Start.
+	walkJob := func(j Span, t float64) float64 {
+		if j.End < t-eps {
+			push(queueStep(j.End, t, "queue"))
+			t = j.End
+		}
+		var phases []Span
+		for _, c := range kids[j.ID] {
+			if c.Kind == KindPhase {
+				phases = append(phases, c)
+			}
+		}
+		for pi := len(phases) - 1; pi >= 0; pi-- {
+			ph := phases[pi]
+			if ph.End < t-eps {
+				push(queueStep(ph.End, t, "queue"))
+				t = ph.End
+			}
+			phaseTasks := kids[ph.ID]
+			lastNode, lastSlot := -1, -1
+			for t > ph.Start+eps {
+				tk, ok := findEndingAt(phaseTasks, allTasks, t, eps, lastNode, lastSlot)
+				if !ok {
+					push(queueStep(ph.Start, t, "queue"))
+					t = ph.Start
+					break
+				}
+				b := tk.Attrs.Breakdown
+				if bt, d := b.Total(), tk.Seconds(); bt <= 0 && d > 0 {
+					// Spans without a breakdown (hand-built traces,
+					// coarse recorders) count wholly as compute.
+					b[CatCompute] = d
+				}
+				push(Step{SpanID: tk.ID, Kind: KindTask, Name: tk.Name,
+					Start: tk.Start, End: t, Breakdown: b})
+				t = tk.Start
+				lastNode, lastSlot = tk.Attrs.Node, tk.Attrs.Slot
+			}
+			if t > ph.Start {
+				t = ph.Start
+			}
+		}
+		if t > j.Start+eps {
+			var b Breakdown
+			b[CatStartup] = t - j.Start
+			push(Step{Kind: KindJob, Name: j.Name + " startup", Start: j.Start, End: t, Breakdown: b})
+		}
+		return j.Start
+	}
+
+	// Start from the job that bounds the program end; follow dependency
+	// (or barrier) edges backwards.
+	t0 := prog.End
+	cur, ok := lastJobEndingAt(jobs, t0, eps)
+	for iter := 0; iter < len(spans)+2; iter++ {
+		if !ok {
+			// No job ends here: bridge the gap to the latest earlier
+			// job end, or to the program start.
+			bridge := prog.Start
+			for _, j := range jobs {
+				if j.Kind == KindJob && j.End < t0-eps && j.End > bridge {
+					bridge = j.End
+				}
+			}
+			push(queueStep(bridge, t0, "queue"))
+			t0 = bridge
+			if t0 <= prog.Start+eps {
+				break
+			}
+			cur, ok = lastJobEndingAt(jobs, t0, eps)
+			continue
+		}
+		t0 = walkJob(cur, t0)
+		if t0 <= prog.Start+eps {
+			break
+		}
+		// Prefer a declared dependency that ends exactly at our release.
+		ok = false
+		for _, d := range cur.Attrs.Deps {
+			if dj, have := jobByID[d]; have && absf(dj.End-t0) <= eps {
+				cur, ok = dj, true
+				break
+			}
+		}
+		if !ok {
+			cur, ok = lastJobEndingAt(jobs, t0, eps)
+		}
+	}
+
+	// Reverse into time order and total the categories.
+	for i := len(rev) - 1; i >= 0; i-- {
+		cp.Steps = append(cp.Steps, rev[i])
+		cp.Categories = cp.Categories.Add(rev[i].Breakdown)
+	}
+	return cp, nil
+}
+
+// findEndingAt picks the task bounding time t: first a task of the same
+// phase on the slot the chain is on, then any task of the phase, then
+// any task of the run on that slot (cross-job slot succession under
+// OverlapJobs). Later-recorded tasks win ties for determinism.
+func findEndingAt(phaseTasks, allTasks []Span, t, eps float64, node, slot int) (Span, bool) {
+	var best Span
+	found := false
+	for _, cand := range phaseTasks {
+		if cand.Kind != KindTask || absf(cand.End-t) > eps {
+			continue
+		}
+		if node >= 0 && cand.Attrs.Node == node && cand.Attrs.Slot == slot {
+			return cand, true
+		}
+		best, found = cand, true
+	}
+	if found {
+		return best, true
+	}
+	for _, cand := range allTasks {
+		if absf(cand.End-t) <= eps && (node < 0 || (cand.Attrs.Node == node && cand.Attrs.Slot == slot)) {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// lastJobEndingAt returns the latest-recorded job span ending at t.
+func lastJobEndingAt(jobs []Span, t, eps float64) (Span, bool) {
+	var best Span
+	found := false
+	for _, j := range jobs {
+		if j.Kind == KindJob && absf(j.End-t) <= eps {
+			best, found = j, true
+		}
+	}
+	return best, found
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Write renders the analysis: the per-category attribution ("why is
+// this deployment slow"), then the longest individual steps.
+func (cp *CriticalPath) Write(w io.Writer) error {
+	fmt.Fprintf(w, "critical path: %.1fs across %d steps\n", cp.TotalSeconds, len(cp.Steps))
+	fmt.Fprintf(w, "  %-12s %10s %7s\n", "category", "seconds", "share")
+	for c := Category(0); c < NumCategories; c++ {
+		sec := cp.Categories[c]
+		share := 0.0
+		if cp.TotalSeconds > 0 {
+			share = 100 * sec / cp.TotalSeconds
+		}
+		fmt.Fprintf(w, "  %-12s %10.1f %6.1f%%\n", c.String(), sec, share)
+	}
+	longest := append([]Step(nil), cp.Steps...)
+	sort.SliceStable(longest, func(i, j int) bool { return longest[i].Seconds() > longest[j].Seconds() })
+	n := len(longest)
+	if n > 10 {
+		n = 10
+	}
+	fmt.Fprintf(w, "  longest steps:\n")
+	for _, s := range longest[:n] {
+		name := s.Name
+		if name == "" {
+			name = s.Kind.String()
+		}
+		if _, err := fmt.Fprintf(w, "    [%10.1fs .. %10.1fs] %6.1fs  %s\n", s.Start, s.End, s.Seconds(), name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildThreeJobDAG hand-builds the trace of a 3-job chain with known
+// critical structure:
+//
+//	job 0 [0,40]:  startup [0,6];  phase [6,40] with tasks
+//	               t0 [6,25] (slot 0, off-path) and t1 [6,40] (slot 1)
+//	job 1 [40,70]: startup [40,46]; phase [46,70] with one task
+//	job 2 [70,100]: startup [70,76]; phase [76,100] with a same-slot
+//	               chain t_a [76,90] → t_b [90,100]
+//
+// The critical path is: startup, t1, startup, task, startup, t_a, t_b —
+// seven steps tiling [0,100] exactly.
+func buildThreeJobDAG() *Trace {
+	tr := NewTrace()
+	prog := tr.Start(KindProgram, "program", NoSpan, 0)
+
+	task := func(parent SpanID, name string, start, end float64, jobID, node, slot int, b Breakdown) {
+		id := tr.Start(KindTask, name, parent, start)
+		tr.SetAttrs(id, Attrs{JobID: jobID, Node: node, Slot: slot, Breakdown: b})
+		tr.End(id, end)
+	}
+
+	j0 := tr.Start(KindJob, "load", prog, 0)
+	tr.SetAttrs(j0, Attrs{JobID: 0})
+	p0 := tr.Start(KindPhase, "j0/p0", j0, 6)
+	task(p0, "j0/p0/t0", 6, 25, 0, 0, 0, Breakdown{CatCompute: 19})
+	task(p0, "j0/p0/t1", 6, 40, 0, 1, 1, Breakdown{CatCompute: 30, CatWrite: 4})
+	tr.End(p0, 40)
+	tr.End(j0, 40)
+
+	j1 := tr.Start(KindJob, "multiply", prog, 40)
+	tr.SetAttrs(j1, Attrs{JobID: 1, Deps: []int{0}})
+	p1 := tr.Start(KindPhase, "j1/p0", j1, 46)
+	task(p1, "j1/p0/t0", 46, 70, 1, 0, 0, Breakdown{CatCompute: 24})
+	tr.End(p1, 70)
+	tr.End(j1, 70)
+
+	j2 := tr.Start(KindJob, "aggregate", prog, 70)
+	tr.SetAttrs(j2, Attrs{JobID: 2, Deps: []int{1}})
+	p2 := tr.Start(KindPhase, "j2/p0", j2, 76)
+	task(p2, "j2/p0/t0", 76, 90, 2, 0, 0, Breakdown{CatCompute: 10, CatLocalRead: 4})
+	task(p2, "j2/p0/t1", 90, 100, 2, 0, 0, Breakdown{CatCompute: 10})
+	tr.End(p2, 100)
+	tr.End(j2, 100)
+
+	tr.End(prog, 100)
+	return tr
+}
+
+// TestCriticalPathGolden is the analyzer's golden test: the exact step
+// sequence, span attribution and category totals of the hand-built DAG.
+func TestCriticalPathGolden(t *testing.T) {
+	cp, err := buildThreeJobDAG().CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TotalSeconds != 100 {
+		t.Fatalf("TotalSeconds = %g, want 100", cp.TotalSeconds)
+	}
+	want := []struct {
+		name       string
+		start, end float64
+	}{
+		{"load startup", 0, 6},
+		{"j0/p0/t1", 6, 40},
+		{"multiply startup", 40, 46},
+		{"j1/p0/t0", 46, 70},
+		{"aggregate startup", 70, 76},
+		{"j2/p0/t0", 76, 90},
+		{"j2/p0/t1", 90, 100},
+	}
+	if len(cp.Steps) != len(want) {
+		t.Fatalf("got %d steps, want %d: %+v", len(cp.Steps), len(want), cp.Steps)
+	}
+	for i, w := range want {
+		s := cp.Steps[i]
+		if s.Name != w.name || math.Abs(s.Start-w.start) > 1e-9 || math.Abs(s.End-w.end) > 1e-9 {
+			t.Fatalf("step %d = %q [%g,%g], want %q [%g,%g]",
+				i, s.Name, s.Start, s.End, w.name, w.start, w.end)
+		}
+	}
+	// The off-path task t0 must not appear.
+	for _, s := range cp.Steps {
+		if s.Name == "j0/p0/t0" {
+			t.Fatal("off-critical-path task attributed")
+		}
+	}
+	wantCat := Breakdown{}
+	wantCat[CatStartup] = 18
+	wantCat[CatCompute] = 74
+	wantCat[CatLocalRead] = 4
+	wantCat[CatWrite] = 4
+	for c := Category(0); c < NumCategories; c++ {
+		if math.Abs(cp.Categories[c]-wantCat[c]) > 1e-9 {
+			t.Fatalf("category %s = %g, want %g", c, cp.Categories[c], wantCat[c])
+		}
+	}
+	// Coverage invariant: categories sum to the program wall-clock.
+	if math.Abs(cp.Categories.Total()-cp.TotalSeconds) > 1e-9 {
+		t.Fatalf("categories sum to %g, want %g", cp.Categories.Total(), cp.TotalSeconds)
+	}
+
+	var sb strings.Builder
+	if err := cp.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"critical path: 100.0s across 7 steps", "compute", "74.0", "startup", "18.0"} {
+		if !strings.Contains(sb.String(), needle) {
+			t.Fatalf("report missing %q:\n%s", needle, sb.String())
+		}
+	}
+}
+
+// TestCriticalPathGaps: when a task's start is bounded by nothing the
+// analyzer records a queue step rather than losing coverage, and job
+// gaps (e.g. a retried straggler's shifted start) are bridged the same
+// way.
+func TestCriticalPathGaps(t *testing.T) {
+	tr := NewTrace()
+	prog := tr.Start(KindProgram, "program", NoSpan, 0)
+	j := tr.Start(KindJob, "j", prog, 0)
+	tr.SetAttrs(j, Attrs{JobID: 0})
+	p := tr.Start(KindPhase, "p", j, 2)
+	// Task starts 3s after the phase release with no predecessor: queue.
+	tk := tr.Start(KindTask, "t", p, 5)
+	tr.SetAttrs(tk, Attrs{JobID: 0, Breakdown: Breakdown{CatCompute: 5}})
+	tr.End(tk, 10)
+	tr.End(p, 10)
+	tr.End(j, 10)
+	tr.End(prog, 10)
+
+	cp, err := tr.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp.Categories.Total()-10) > 1e-9 {
+		t.Fatalf("coverage lost: categories sum to %g, want 10", cp.Categories.Total())
+	}
+	if math.Abs(cp.Categories[CatQueue]-3) > 1e-9 {
+		t.Fatalf("queue = %g, want 3", cp.Categories[CatQueue])
+	}
+	if math.Abs(cp.Categories[CatStartup]-2) > 1e-9 {
+		t.Fatalf("startup = %g, want 2", cp.Categories[CatStartup])
+	}
+}
+
+// TestCriticalPathNoProgram: analysis needs exactly one program span.
+func TestCriticalPathNoProgram(t *testing.T) {
+	if _, err := NewTrace().CriticalPath(); err == nil {
+		t.Fatal("want error on empty trace")
+	}
+}

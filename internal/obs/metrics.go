@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metrics keep registration order in the output;
+// labeled series within a metric are sorted for determinism.
+type Registry struct {
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+type metric struct {
+	name, help, typ string
+	samples         map[string]float64 // label-string -> value
+	// histogram state (typ == "histogram")
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // per-bucket (non-cumulative) counts
+	sum     float64
+	n       uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*metric{}} }
+
+func (r *Registry) metricNamed(name, help, typ string) *metric {
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ, samples: map[string]float64{}}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter declares (or fetches) a monotonically increasing metric.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{m: r.metricNamed(name, help, "counter")}
+}
+
+// Gauge declares (or fetches) a point-in-time value metric.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{m: r.metricNamed(name, help, "gauge")}
+}
+
+// Histogram declares (or fetches) a distribution metric with the given
+// ascending bucket upper bounds (an implicit +Inf bucket is added).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.metricNamed(name, help, "histogram")
+	if m.buckets == nil {
+		m.buckets = append([]float64(nil), buckets...)
+		m.counts = make([]uint64, len(buckets)+1)
+	}
+	return &Histogram{m: m}
+}
+
+// Counter accumulates.
+type Counter struct{ m *metric }
+
+// Add increases the series selected by labels by v.
+func (c *Counter) Add(v float64, labels ...Label) {
+	c.m.samples[labelKey(labels)] += v
+}
+
+// Gauge records the latest value.
+type Gauge struct{ m *metric }
+
+// Set replaces the series selected by labels with v.
+func (g *Gauge) Set(v float64, labels ...Label) {
+	g.m.samples[labelKey(labels)] = v
+}
+
+// Histogram observes a distribution.
+type Histogram struct{ m *metric }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	m := h.m
+	m.sum += v
+	m.n++
+	for i, ub := range m.buckets {
+		if v <= ub {
+			m.counts[i]++
+			return
+		}
+	}
+	m.counts[len(m.buckets)]++
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + `="` + l.Value + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Write renders the registry in the Prometheus text exposition format.
+func (r *Registry) Write(w io.Writer) error {
+	for _, m := range r.metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		if m.typ == "histogram" {
+			cum := uint64(0)
+			for i, ub := range m.buckets {
+				cum += m.counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(ub), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.counts[len(m.buckets)]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, cum, m.name, formatValue(m.sum), m.name, m.n); err != nil {
+				return err
+			}
+			continue
+		}
+		keys := make([]string, 0, len(m.samples))
+		for k := range m.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, k, formatValue(m.samples[k])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 9, 64)
+}
+
+// secondsBuckets is the default latency bucketing for virtual-time
+// histograms: tasks range from sub-second map chunks to multi-hundred
+// second multiply waves.
+var secondsBuckets = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+
+// Snapshot derives the standard metrics registry from a recorded trace:
+// run/job/task counts, task-second and queue-wait histograms, byte
+// counters by I/O class, flops, retry and locality/cache-hit summaries.
+func Snapshot(t *Trace) *Registry {
+	r := NewRegistry()
+	spans := t.Spans()
+
+	programSec := r.Gauge("cumulon_program_seconds", "end-to-end virtual seconds of the recorded program run(s)")
+	jobs := r.Counter("cumulon_jobs_total", "jobs executed")
+	tasks := r.Counter("cumulon_tasks_total", "tasks executed")
+	retries := r.Counter("cumulon_task_retries_total", "failed task attempts that were retried")
+	taskSec := r.Histogram("cumulon_task_seconds", "task durations in virtual seconds", secondsBuckets)
+	queueSec := r.Histogram("cumulon_queue_wait_seconds", "task wait between phase release and start", secondsBuckets)
+	readBytes := r.Counter("cumulon_read_bytes_total", "bytes read by I/O class")
+	writeBytes := r.Counter("cumulon_write_bytes_total", "bytes written (primary replica)")
+	flops := r.Counter("cumulon_flops_total", "floating point operations executed")
+	catSec := r.Counter("cumulon_task_category_seconds_total", "task-time attribution by category")
+	locality := r.Gauge("cumulon_read_locality_ratio", "fraction of DFS read bytes served node-locally")
+	cacheHit := r.Gauge("cumulon_cache_hit_ratio", "fraction of read bytes served from node memory caches")
+
+	var progTotal float64
+	var local, rack, remote, cache int64
+	for _, s := range spans {
+		switch s.Kind {
+		case KindProgram:
+			progTotal += s.Seconds()
+		case KindJob:
+			jobs.Add(1)
+		case KindTask:
+			a := s.Attrs
+			tasks.Add(1)
+			retries.Add(float64(a.Retries))
+			taskSec.Observe(s.Seconds())
+			queueSec.Observe(a.QueueSec)
+			local += a.LocalReadBytes
+			rack += a.RackReadBytes
+			remote += a.RemoteReadBytes
+			cache += a.CacheReadBytes
+			writeBytes.Add(float64(a.WriteBytes))
+			flops.Add(float64(a.Flops))
+			for c := Category(0); c < NumCategories; c++ {
+				if v := a.Breakdown[c]; v != 0 {
+					catSec.Add(v, Label{"category", c.String()})
+				}
+			}
+		}
+	}
+	programSec.Set(progTotal)
+	readBytes.Add(float64(local), Label{"class", "local"})
+	readBytes.Add(float64(rack), Label{"class", "rack"})
+	readBytes.Add(float64(remote), Label{"class", "remote"})
+	readBytes.Add(float64(cache), Label{"class", "cache"})
+	if dfsRead := local + rack + remote; dfsRead > 0 {
+		locality.Set(float64(local) / float64(dfsRead))
+	}
+	if allRead := local + rack + remote + cache; allRead > 0 {
+		cacheHit.Set(float64(cache) / float64(allRead))
+	}
+	return r
+}

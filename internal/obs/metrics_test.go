@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryExposition checks the Prometheus text format: HELP/TYPE
+// preambles, sorted labeled series, and cumulative histogram buckets
+// with +Inf, _sum and _count.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total", "widgets made")
+	c.Add(2, Label{"kind", "b"})
+	c.Add(3, Label{"kind", "a"})
+	c.Add(1, Label{"kind", "b"})
+	r.Gauge("temp", "temperature").Set(36.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP widgets_total widgets made
+# TYPE widgets_total counter
+widgets_total{kind="a"} 3
+widgets_total{kind="b"} 3
+# HELP temp temperature
+# TYPE temp gauge
+temp 36.5
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="1"} 1
+lat_seconds_bucket{le="5"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 103.5
+lat_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotFromTrace derives the standard metrics from a recorded
+// trace and spot-checks the derived ratios and totals.
+func TestSnapshotFromTrace(t *testing.T) {
+	tr := NewTrace()
+	prog := tr.Start(KindProgram, "program", NoSpan, 0)
+	job := tr.Start(KindJob, "job 0", prog, 0)
+	ph := tr.Start(KindPhase, "p0", job, 0)
+	t1 := tr.Start(KindTask, "t0", ph, 0)
+	tr.SetAttrs(t1, Attrs{
+		Flops: 1000, LocalReadBytes: 60, RackReadBytes: 20, RemoteReadBytes: 20,
+		CacheReadBytes: 100, WriteBytes: 40, Retries: 2, QueueSec: 1,
+		Breakdown: Breakdown{CatCompute: 3, CatWrite: 1},
+	})
+	tr.End(t1, 4)
+	tr.End(ph, 4)
+	tr.End(job, 4)
+	tr.End(prog, 10)
+
+	var sb strings.Builder
+	if err := Snapshot(tr).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"cumulon_program_seconds 10",
+		"cumulon_jobs_total 1",
+		"cumulon_tasks_total 1",
+		"cumulon_task_retries_total 2",
+		`cumulon_read_bytes_total{class="local"} 60`,
+		`cumulon_read_bytes_total{class="cache"} 100`,
+		"cumulon_write_bytes_total 40",
+		"cumulon_flops_total 1000",
+		`cumulon_task_category_seconds_total{category="compute"} 3`,
+		"cumulon_read_locality_ratio 0.6",
+		"cumulon_cache_hit_ratio 0.5",
+		`cumulon_task_seconds_bucket{le="5"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, got)
+		}
+	}
+}

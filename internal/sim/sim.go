@@ -12,6 +12,7 @@ import (
 
 	"cumulon/internal/cloud"
 	"cumulon/internal/model"
+	"cumulon/internal/obs"
 	"cumulon/internal/plan"
 )
 
@@ -26,6 +27,11 @@ type Predictor struct {
 	// use coarse mode (thousands of evaluations); final reporting uses
 	// exact mode.
 	Coarse bool
+	// Rec, when set, receives the predicted timeline of PredictPlan as a
+	// span trace (program span plus one job span per job, at cumulative
+	// offsets), so predictions can be compared structurally against an
+	// executed trace with obs.DiffTraces. nil disables recording.
+	Rec obs.Recorder
 }
 
 // New constructs a predictor with engine-matching defaults.
@@ -124,12 +130,22 @@ func (p *Predictor) coarsePhase(phase []plan.TaskWork, slots int) float64 {
 }
 
 // PredictPlan returns the predicted end-to-end seconds of the plan: jobs
-// execute sequentially in dependency order, as in the engine.
+// execute sequentially in dependency order, as in the engine. When Rec is
+// set, the predicted timeline is recorded as a span trace.
 func (p *Predictor) PredictPlan(pl *plan.Plan) float64 {
+	rec := obs.OrNop(p.Rec)
+	prog := rec.Start(obs.KindProgram, "program", obs.NoSpan, 0)
 	var total float64
 	for _, j := range pl.Jobs {
-		total += p.PredictJob(j)
+		sec := p.PredictJob(j)
+		if rec.Enabled() {
+			js := rec.Start(obs.KindJob, j.Name, prog, total)
+			rec.SetAttrs(js, obs.Attrs{JobID: j.ID, Deps: j.Deps})
+			rec.End(js, total+sec)
+		}
+		total += sec
 	}
+	rec.End(prog, total)
 	return total
 }
 

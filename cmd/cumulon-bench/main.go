@@ -11,11 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"cumulon/internal/bench"
 	"cumulon/internal/obs"
+	"cumulon/internal/opt"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func main() {
 		"write a Chrome trace-event JSON of the benchmarked engine runs to this file")
 	metricsOut := flag.String("metrics", "",
 		"write a Prometheus-style text metrics snapshot of the benchmarked runs to this file (\"-\" for stdout)")
+	searchOut := flag.String("searchtrace", "",
+		"write the optimizer search trace of E10-E12 to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
 	flag.Parse()
 
 	s := bench.NewSuite(*seed)
@@ -36,6 +41,11 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		tr = obs.NewTrace()
 		s.Recorder = tr
+	}
+	var st *opt.SearchTrace
+	if *searchOut != "" || *metricsOut != "" {
+		st = opt.NewSearchTrace()
+		s.Search = st
 	}
 	run := func(id string) error {
 		t0 := time.Now()
@@ -60,42 +70,56 @@ func main() {
 			}
 		}
 	}
-	if tr != nil {
-		if err := writeObs(tr, *traceOut, *metricsOut); err != nil {
+	if tr != nil || st != nil {
+		if err := writeObs(tr, st, *traceOut, *metricsOut, *searchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 }
 
-// writeObs exports the trace recorded across the benchmarked runs.
-func writeObs(tr *obs.Trace, tracePath, metricsPath string) error {
+// writeObs exports the traces recorded across the benchmarked runs: the
+// engine spans, the optimizer search trace, and a combined metrics
+// snapshot folding the search counters in with the engine counters.
+func writeObs(tr *obs.Trace, st *opt.SearchTrace, tracePath, metricsPath, searchPath string) error {
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		if err := tr.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(tracePath, tr.WriteChrome); err != nil {
 			return err
 		}
 	}
-	if metricsPath == "-" {
-		return obs.Snapshot(tr).Write(os.Stdout)
+	if searchPath != "" {
+		write := st.WriteJSON
+		if strings.HasSuffix(searchPath, ".csv") {
+			write = st.WriteCSV
+		}
+		if err := writeFile(searchPath, write); err != nil {
+			return err
+		}
 	}
 	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := obs.Snapshot(tr).Write(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return writeFile(metricsPath, func(w io.Writer) error {
+			reg := obs.Snapshot(tr)
+			if st != nil {
+				st.MetricsInto(reg)
+			}
+			return reg.Write(w)
+		})
 	}
 	return nil
+}
+
+// writeFile writes with fn to the named file, or to stdout for "-".
+func writeFile(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cumulon/internal/lang"
 	"cumulon/internal/opt"
@@ -39,6 +40,12 @@ func run() error {
 	confidence := flag.Float64("confidence", 0,
 		"promise the deadline at this probability (e.g. 0.95) instead of in expectation")
 	showFrontier := flag.Bool("frontier", true, "print the time/cost Pareto frontier")
+	explain := flag.Bool("explain", false,
+		"print an EXPLAIN report of the search (winner vs nearest rivals, per-term deltas, prune reasons)")
+	searchTrace := flag.String("searchtrace", "",
+		"write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
+	frontierSVG := flag.String("frontier-svg", "",
+		"write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	if (*deadline <= 0) == (*budget <= 0) {
@@ -58,6 +65,7 @@ func run() error {
 			cfg.Densities[in.Name] = *density
 		}
 	}
+	st := opt.NewSearchTrace()
 	req := opt.Request{
 		Program:       prog,
 		PlanCfg:       cfg,
@@ -65,6 +73,7 @@ func run() error {
 		BudgetDollars: *budget,
 		MaxNodes:      *maxNodes,
 		Confidence:    *confidence,
+		Search:        st,
 	}
 	o := opt.New(*seed)
 	var res *opt.Result
@@ -104,7 +113,43 @@ func run() error {
 			fmt.Printf("  %-26s %12.1f %10.2f\n", d.Cluster, d.PredSeconds, d.Cost)
 		}
 	}
+	if *explain {
+		fmt.Println()
+		if err := st.Explain(os.Stdout, 5); err != nil {
+			return err
+		}
+	}
+	if *searchTrace != "" {
+		write := st.WriteJSON
+		if strings.HasSuffix(*searchTrace, ".csv") {
+			write = st.WriteCSV
+		}
+		if err := writeTo(*searchTrace, write); err != nil {
+			return err
+		}
+	}
+	if *frontierSVG != "" {
+		if err := writeTo(*frontierSVG, st.WriteFrontierSVG); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeTo writes with fn to the named file, or to stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readSource(path string) (string, error) {

@@ -15,6 +15,7 @@
 //
 //	cumulon -f prog.cm -machine c1.medium -nodes 16 -slots 2
 //	cumulon -f prog.cm -materialize      # small programs: compute real values
+//	cumulon -f prog.cm -optimize -explain # let the optimizer pick the cluster
 //	echo 'input A 4096 4096 ...' | cumulon
 package main
 
@@ -24,12 +25,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
 	"cumulon/internal/obs"
+	"cumulon/internal/opt"
 	"cumulon/internal/plan"
 )
 
@@ -62,9 +65,26 @@ func run() error {
 	timelineOut := flag.String("timeline", "",
 		"write the per-task timeline CSV to this file (\"-\" for stdout)")
 	critpath := flag.Bool("critpath", false, "print the critical-path analysis of the run")
+	optimize := flag.Bool("optimize", false,
+		"let the optimizer choose the deployment (machine type, nodes, slots, splits) instead of -machine/-nodes/-slots")
+	deadline := flag.Float64("deadline", 0,
+		"with -optimize: deadline in seconds to minimize cost under (default 24h when no -budget is given)")
+	budget := flag.Float64("budget", 0, "with -optimize: budget in dollars to minimize time under")
+	confidence := flag.Float64("confidence", 0,
+		"with -optimize -deadline: promise the deadline at this probability (e.g. 0.95) instead of in expectation")
+	maxNodes := flag.Int("max-nodes", 64, "with -optimize: largest cluster size to consider")
+	explain := flag.Bool("explain", false,
+		"with -optimize: print an EXPLAIN report of the search (winner vs nearest rivals, per-term deltas, prune reasons)")
+	searchTrace := flag.String("searchtrace", "",
+		"with -optimize: write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
+	frontierOut := flag.String("frontier", "",
+		"with -optimize: write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
 	flag.Parse()
 	if *asJSON {
 		*showPlan = false
+	}
+	if !*optimize && (*explain || *searchTrace != "" || *frontierOut != "") {
+		return fmt.Errorf("-explain, -searchtrace and -frontier require -optimize")
 	}
 
 	src, err := readSource(*file)
@@ -109,6 +129,70 @@ func run() error {
 		fmt.Println()
 	}
 
+	// With -optimize, search the deployment space first and execute what
+	// the optimizer chose instead of the -machine/-nodes/-slots cluster.
+	var (
+		dep *opt.Deployment
+		st  *opt.SearchTrace
+	)
+	if *optimize {
+		if *deadline > 0 && *budget > 0 {
+			return fmt.Errorf("specify at most one of -deadline and -budget")
+		}
+		if *deadline <= 0 && *budget <= 0 {
+			// A loose default deadline: effectively "cheapest overall".
+			*deadline = 24 * 3600
+		}
+		st = opt.NewSearchTrace()
+		req := opt.Request{
+			Program:       prog,
+			PlanCfg:       cfg,
+			DeadlineSec:   *deadline,
+			BudgetDollars: *budget,
+			Confidence:    *confidence,
+			MaxNodes:      *maxNodes,
+			Search:        st,
+		}
+		var sres *opt.Result
+		if *deadline > 0 {
+			sres, err = sess.Optimizer().MinCostForDeadline(req)
+		} else {
+			sres, err = sess.Optimizer().MinTimeForBudget(req)
+		}
+		if err != nil {
+			return err
+		}
+		dep = sres.Best
+		if !*asJSON {
+			verdict := "optimizer chose"
+			if !sres.Met {
+				verdict = "constraint NOT satisfiable; closest is"
+			}
+			fmt.Printf("%s: %s\n\n", verdict, dep)
+		}
+		if *explain {
+			if err := st.Explain(os.Stdout, 5); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if *searchTrace != "" {
+			write := st.WriteJSON
+			if strings.HasSuffix(*searchTrace, ".csv") {
+				write = st.WriteCSV
+			}
+			if err := writeTo(*searchTrace, write); err != nil {
+				return err
+			}
+		}
+		if *frontierOut != "" {
+			if err := writeTo(*frontierOut, st.WriteFrontierSVG); err != nil {
+				return err
+			}
+		}
+		cluster = dep.Cluster
+	}
+
 	opts := core.ExecOptions{Cluster: cluster, Workers: *workers}
 	if *materialize {
 		opts.Inputs = randomInputs(prog, cfg, *seed)
@@ -118,7 +202,12 @@ func run() error {
 		tr = obs.NewTrace()
 		opts.Recorder = tr
 	}
-	res, err := sess.Run(prog, cfg, opts)
+	var res *core.ExecResult
+	if dep != nil {
+		res, err = sess.RunDeployment(prog, cfg, dep, opts)
+	} else {
+		res, err = sess.Run(prog, cfg, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -134,7 +223,14 @@ func run() error {
 		}
 	}
 	if *metricsOut != "" {
-		if err := writeTo(*metricsOut, func(w io.Writer) error { return obs.Snapshot(tr).Write(w) }); err != nil {
+		if err := writeTo(*metricsOut, func(w io.Writer) error {
+			reg := obs.Snapshot(tr)
+			if st != nil {
+				// Fold the optimizer's search counters into the same snapshot.
+				st.MetricsInto(reg)
+			}
+			return reg.Write(w)
+		}); err != nil {
 			return err
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
 	"cumulon/internal/obs"
+	"cumulon/internal/opt"
 	"cumulon/internal/plan"
 )
 
@@ -106,6 +107,11 @@ type Suite struct {
 	// engine run the suite performs (the bench binary points it at an
 	// obs.Trace for its -trace/-metrics flags). nil disables recording.
 	Recorder obs.Recorder
+	// Search, when set, receives candidate-level telemetry from every
+	// optimizer search the suite performs (the bench binary points it at
+	// an opt.SearchTrace for its -searchtrace flag). nil disables
+	// recording.
+	Search opt.SearchRecorder
 }
 
 // NewSuite constructs a suite; all randomness derives from seed.

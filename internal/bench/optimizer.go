@@ -23,6 +23,7 @@ func (s *Suite) optRequest(w workloads.Workload, maxNodes int, machines ...strin
 		Program:  w.Prog,
 		PlanCfg:  plan.Config{TileSize: tileSize, Densities: w.Densities},
 		MaxNodes: maxNodes,
+		Search:   s.Search,
 	}
 	for _, name := range machines {
 		mt, err := cloud.TypeByName(name)

@@ -79,6 +79,16 @@ func (m *TaskModel) Predict(flops, diskBytes, netBytes int64) float64 {
 	return t
 }
 
+// Terms returns the additive components of a predicted task duration:
+// the intercept (startup), the flop term, the disk-byte term and the
+// network-byte term. With the non-negative coefficients Fit produces,
+// the four terms sum exactly to Predict; the optimizer's search
+// telemetry records them so an EXPLAIN report can say *why* one
+// deployment beats another (more compute, more network, more startup).
+func (m *TaskModel) Terms(flops, diskBytes, netBytes int64) (b0, flopSec, diskSec, netSec float64) {
+	return m.B0, m.BFlops * float64(flops), m.BDisk * float64(diskBytes), m.BNet * float64(netBytes)
+}
+
 func (m *TaskModel) String() string {
 	return fmt.Sprintf("t = %.3f + %.3g*flops + %.3g*disk + %.3g*net (n=%d)",
 		m.B0, m.BFlops, m.BDisk, m.BNet, m.N)

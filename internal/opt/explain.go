@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cumulon/internal/sim"
+)
+
+// Explain writes a human-readable report of the most recent search: the
+// shape of the space searched, how candidates were pruned, the winning
+// deployment with its model-term breakdown, and its nearest rivals with
+// per-term time and cost deltas plus the typed reason each one lost.
+// topN bounds the rival list (<= 0 means 5).
+func (t *SearchTrace) Explain(w io.Writer, topN int) error {
+	s, ok := t.Last()
+	if !ok || len(s.Candidates) == 0 {
+		return fmt.Errorf("opt: no recorded search to explain")
+	}
+	if topN <= 0 {
+		topN = 5
+	}
+
+	switch s.Objective {
+	case "min-cost-deadline":
+		fmt.Fprintf(w, "EXPLAIN min cost s.t. deadline %.0fs", s.Constraint)
+		if s.Confidence > 0 {
+			fmt.Fprintf(w, " at %.0f%% confidence", s.Confidence*100)
+		}
+	case "min-time-budget":
+		fmt.Fprintf(w, "EXPLAIN min time s.t. budget $%.2f", s.Constraint)
+	default:
+		fmt.Fprintf(w, "EXPLAIN enumeration (no constraint)")
+	}
+	fmt.Fprintln(w)
+
+	machines, nodes, slots, tiles := map[string]bool{}, map[int]bool{}, map[int]bool{}, map[int]bool{}
+	for _, c := range s.Candidates {
+		d := c.Deployment
+		machines[d.Cluster.Type.Name] = true
+		nodes[d.Cluster.Nodes] = true
+		slots[d.Cluster.Slots] = true
+		tiles[d.TileSize] = true
+	}
+	fmt.Fprintf(w, "  searched %d candidates: %d machine types x %d cluster sizes x %d slot configs x %d tile sizes\n",
+		len(s.Candidates), len(machines), len(nodes), len(slots), len(tiles))
+
+	pruned := prunedCounts([]SearchRecord{s})
+	var parts []string
+	for r := PruneReason(1); r < NumPruneReasons; r++ {
+		if pruned[r] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", pruned[r], r))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "  pruned: ")
+		for i, p := range parts {
+			if i > 0 {
+				fmt.Fprintf(w, ", ")
+			}
+			fmt.Fprintf(w, "%s", p)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if s.WinnerSeq < 0 {
+		fmt.Fprintln(w, "  no winner declared (bare enumeration)")
+		return nil
+	}
+	win := s.Candidates[s.WinnerSeq]
+	wd := win.Deployment
+	verdict := "winner"
+	if !s.Met {
+		verdict = "constraint unsatisfiable; closest"
+	}
+	fmt.Fprintf(w, "  %s: #%d %s\n", verdict, win.Seq, deploymentLabel(wd))
+	fmt.Fprintf(w, "    predicted %.1fs, billed $%.2f (linear $%.2f)\n", wd.PredSeconds, wd.Cost, wd.CostLinear)
+	if wd.QuantileSeconds > 0 {
+		fmt.Fprintf(w, "    promised p%.0f time %.1fs\n", wd.Confidence*100, wd.QuantileSeconds)
+	}
+	fmt.Fprintf(w, "    terms/slot: %s\n", termsLine(win.Terms, false))
+
+	rivals := rivalRank(s)
+	if len(rivals) > topN {
+		rivals = rivals[:topN]
+	}
+	if len(rivals) > 0 {
+		fmt.Fprintf(w, "  rivals (nearest %d of %d):\n", len(rivals), len(s.Candidates)-1)
+	}
+	for _, ri := range rivals {
+		c := s.Candidates[ri]
+		d := c.Deployment
+		reason := c.Pruned.String()
+		if c.Pruned == PruneDominated && c.DominatedBy >= 0 {
+			reason = fmt.Sprintf("%s #%d", c.Pruned, c.DominatedBy)
+		}
+		if c.Pruned == PruneConfidence {
+			reason = fmt.Sprintf("%s (p%.0f %.1fs > %.0fs)", c.Pruned, s.Confidence*100, c.QuantileSec, s.Constraint)
+		}
+		fmt.Fprintf(w, "    #%d %s  [%s]\n", c.Seq, deploymentLabel(d), reason)
+		fmt.Fprintf(w, "      time %+.1fs (%.1fs), cost %+.2f$ ($%.2f)\n",
+			d.PredSeconds-wd.PredSeconds, d.PredSeconds, d.Cost-wd.Cost, d.Cost)
+		fmt.Fprintf(w, "      terms delta: %s\n", termsLine(c.Terms.Sub(win.Terms), true))
+	}
+	return nil
+}
+
+// deploymentLabel renders a deployment's grid point compactly.
+func deploymentLabel(d Deployment) string {
+	return fmt.Sprintf("%s, tile %d", d.Cluster, d.TileSize)
+}
+
+// termsLine renders a model-term vector; signed prints explicit +/-.
+func termsLine(t sim.Terms, signed bool) string {
+	f := "%.1f"
+	if signed {
+		f = "%+.1f"
+	}
+	return fmt.Sprintf("compute "+f+"s | local "+f+"s | rack "+f+"s | remote "+f+"s | startup "+f+"s",
+		t.ComputeSec, t.LocalSec, t.RackSec, t.RemoteSec, t.StartupSec)
+}
+
+// WriteFrontierSVG renders the most recent search's candidates in the
+// (time, cost) plane as an SVG: every candidate as a dot, the Pareto
+// frontier as a staircase, the winner ringed. It complements plan.ToDOT
+// (the plan's DAG) with the optimizer's view of the deployment space.
+func (t *SearchTrace) WriteFrontierSVG(w io.Writer) error {
+	s, ok := t.Last()
+	if !ok || len(s.Candidates) == 0 {
+		return fmt.Errorf("opt: no recorded search to render")
+	}
+	const (
+		width, height  = 640, 420
+		ml, mr, mt, mb = 70, 20, 30, 50 // margins
+	)
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	for _, c := range s.Candidates {
+		d := c.Deployment
+		minT, maxT = math.Min(minT, d.PredSeconds), math.Max(maxT, d.PredSeconds)
+		minC, maxC = math.Min(minC, d.Cost), math.Max(maxC, d.Cost)
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxC == minC {
+		maxC = minC + 1
+	}
+	x := func(t float64) float64 { return ml + (t-minT)/(maxT-minT)*(width-ml-mr) }
+	y := func(c float64) float64 { return height - mb - (c-minC)/(maxC-minC)*(height-mt-mb) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `  <rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `  <text x="%d" y="18" font-family="monospace" font-size="12">time/cost Pareto frontier: %s (%d candidates)</text>`+"\n",
+		ml, s.Objective, len(s.Candidates))
+	// Axes.
+	fmt.Fprintf(w, `  <line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", ml, height-mb, width-mr, height-mb)
+	fmt.Fprintf(w, `  <line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", ml, mt, ml, height-mb)
+	fmt.Fprintf(w, `  <text x="%d" y="%d" font-family="monospace" font-size="11">%.0fs</text>`+"\n", ml, height-mb+16, minT)
+	fmt.Fprintf(w, `  <text x="%d" y="%d" font-family="monospace" font-size="11" text-anchor="end">%.0fs</text>`+"\n", width-mr, height-mb+16, maxT)
+	fmt.Fprintf(w, `  <text x="%d" y="%d" font-family="monospace" font-size="11" text-anchor="end">$%.2f</text>`+"\n", ml-4, height-mb, minC)
+	fmt.Fprintf(w, `  <text x="%d" y="%d" font-family="monospace" font-size="11" text-anchor="end">$%.2f</text>`+"\n", ml-4, mt+10, maxC)
+	fmt.Fprintf(w, `  <text x="%d" y="%d" font-family="monospace" font-size="11">predicted time</text>`+"\n", (width-ml-mr)/2+ml-40, height-10)
+	fmt.Fprintf(w, `  <text x="14" y="%d" font-family="monospace" font-size="11" transform="rotate(-90 14 %d)">billed cost</text>`+"\n", (height-mt-mb)/2+mt+30, (height-mt-mb)/2+mt+30)
+
+	// All candidates.
+	for _, c := range s.Candidates {
+		d := c.Deployment
+		fill := "#bbbbbb"
+		if c.Pruned == PruneOverDeadline || c.Pruned == PruneOverBudget || c.Pruned == PruneConfidence {
+			fill = "#e0e0e0"
+		}
+		fmt.Fprintf(w, `  <circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>#%d %s: %.1fs $%.2f [%s]</title></circle>`+"\n",
+			x(d.PredSeconds), y(d.Cost), fill, c.Seq, deploymentLabel(d), d.PredSeconds, d.Cost, c.Pruned)
+	}
+
+	// Pareto frontier as a staircase over the non-dominated candidates.
+	var frontier []Deployment
+	for _, c := range s.Candidates {
+		if c.Pruned != PruneDominated {
+			frontier = append(frontier, c.Deployment)
+		}
+	}
+	frontier, _ = paretoSplit(frontier) // re-filter: constraint-pruned candidates may still dominate
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].PredSeconds < frontier[j].PredSeconds })
+	if len(frontier) > 1 {
+		fmt.Fprintf(w, `  <polyline fill="none" stroke="#3366cc" stroke-width="1.5" points="`)
+		for i, d := range frontier {
+			if i > 0 {
+				// Staircase: horizontal then vertical.
+				fmt.Fprintf(w, "%.1f,%.1f ", x(d.PredSeconds), y(frontier[i-1].Cost))
+			}
+			fmt.Fprintf(w, "%.1f,%.1f ", x(d.PredSeconds), y(d.Cost))
+		}
+		fmt.Fprintf(w, `"/>`+"\n")
+	}
+	for _, d := range frontier {
+		fmt.Fprintf(w, `  <circle cx="%.1f" cy="%.1f" r="3.5" fill="#3366cc"/>`+"\n", x(d.PredSeconds), y(d.Cost))
+	}
+
+	// Winner ring.
+	if s.WinnerSeq >= 0 {
+		d := s.Candidates[s.WinnerSeq].Deployment
+		fmt.Fprintf(w, `  <circle cx="%.1f" cy="%.1f" r="7" fill="none" stroke="#cc3333" stroke-width="2"><title>winner: %s</title></circle>`+"\n",
+			x(d.PredSeconds), y(d.Cost), deploymentLabel(d))
+	}
+	fmt.Fprintf(w, "</svg>\n")
+	return nil
+}

@@ -1,0 +1,48 @@
+package opt
+
+import "cumulon/internal/obs"
+
+// MetricsInto folds the optimizer's search counters into a metrics
+// registry, alongside the engine counters obs.Snapshot derives, so one
+// Prometheus-style snapshot covers both the execution and the search
+// that chose its deployment. Values are cumulative over the trace's
+// lifetime: a second search only increases them.
+func (t *SearchTrace) MetricsInto(r *obs.Registry) {
+	searches := t.Searches()
+
+	r.Counter("cumulon_opt_searches_total", "constrained optimizer searches run").
+		Add(float64(t.CounterValue(CounterSearches)))
+	var cands int64
+	for _, s := range searches {
+		cands += int64(len(s.Candidates))
+	}
+	r.Counter("cumulon_opt_candidates_total", "candidate deployments evaluated by the optimizer").
+		Add(float64(cands))
+
+	prunedC := r.Counter("cumulon_opt_pruned_total", "candidates rejected by the search, by prune reason")
+	pruned := prunedCounts(searches)
+	for reason := PruneReason(1); reason < NumPruneReasons; reason++ {
+		prunedC.Add(float64(pruned[reason]), obs.Label{Key: "reason", Value: reason.String()})
+	}
+
+	r.Counter("cumulon_opt_model_cache_hits_total", "calibrated task-model cache hits").
+		Add(float64(t.CounterValue(CounterModelCacheHits)))
+	r.Counter("cumulon_opt_model_cache_misses_total", "task-model calibrations performed (cache misses)").
+		Add(float64(t.CounterValue(CounterModelCacheMisses)))
+	r.Counter("cumulon_opt_sim_trials_total", "Monte Carlo completion-time trials simulated for confidence checks").
+		Add(float64(t.CounterValue(CounterSimTrials)))
+
+	// Last decided search, for at-a-glance dashboards.
+	for i := len(searches) - 1; i >= 0; i-- {
+		s := searches[i]
+		if s.WinnerSeq < 0 {
+			continue
+		}
+		d := s.Candidates[s.WinnerSeq].Deployment
+		r.Gauge("cumulon_opt_winner_pred_seconds", "predicted seconds of the last search's winning deployment").
+			Set(d.PredSeconds)
+		r.Gauge("cumulon_opt_winner_cost_dollars", "billed cost of the last search's winning deployment").
+			Set(d.Cost)
+		break
+	}
+}

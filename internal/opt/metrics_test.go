@@ -1,0 +1,117 @@
+package opt
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cumulon/internal/obs"
+)
+
+// snapshot folds the trace into a fresh registry and returns its text
+// exposition (MetricsInto reports cumulative values, so each snapshot
+// uses its own registry).
+func snapshot(t *testing.T, st *SearchTrace) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st.MetricsInto(reg)
+	var buf bytes.Buffer
+	if err := reg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// metricValue sums every sample of a metric (across label sets).
+func metricValue(t *testing.T, snap, name string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(snap, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric %s not in snapshot:\n%s", name, snap)
+	}
+	return sum
+}
+
+// The optimizer counters appear in the obs metrics snapshot with the
+// right names and types, and grow monotonically across searches.
+func TestSearchMetricsSnapshot(t *testing.T) {
+	o := New(1)
+	req, st := tracedRequest(t)
+	req.DeadlineSec = 2 * 3600
+	if _, err := o.MinCostForDeadline(req); err != nil {
+		t.Fatal(err)
+	}
+	first := snapshot(t, st)
+
+	for _, decl := range []string{
+		"# TYPE cumulon_opt_searches_total counter",
+		"# TYPE cumulon_opt_candidates_total counter",
+		"# TYPE cumulon_opt_pruned_total counter",
+		"# TYPE cumulon_opt_model_cache_hits_total counter",
+		"# TYPE cumulon_opt_model_cache_misses_total counter",
+		"# TYPE cumulon_opt_sim_trials_total counter",
+		"# TYPE cumulon_opt_winner_pred_seconds gauge",
+		"# TYPE cumulon_opt_winner_cost_dollars gauge",
+	} {
+		if !strings.Contains(first, decl) {
+			t.Fatalf("snapshot missing %q:\n%s", decl, first)
+		}
+	}
+	if !strings.Contains(first, `cumulon_opt_pruned_total{reason="`) {
+		t.Fatalf("pruned counter not labeled by reason:\n%s", first)
+	}
+	if metricValue(t, first, "cumulon_opt_searches_total") != 1 {
+		t.Fatal("first snapshot should count one search")
+	}
+	cands1 := metricValue(t, first, "cumulon_opt_candidates_total")
+	if cands1 == 0 {
+		t.Fatal("no candidates counted")
+	}
+
+	// A second search on the same trace: every counter is monotone, and
+	// the model cache now reports hits.
+	if _, err := o.MinCostForDeadline(req); err != nil {
+		t.Fatal(err)
+	}
+	second := snapshot(t, st)
+	if got := metricValue(t, second, "cumulon_opt_searches_total"); got != 2 {
+		t.Fatalf("searches after second run = %v, want 2", got)
+	}
+	for _, name := range []string{
+		"cumulon_opt_candidates_total",
+		"cumulon_opt_pruned_total",
+		"cumulon_opt_model_cache_misses_total",
+	} {
+		a, b := metricValue(t, first, name), metricValue(t, second, name)
+		if b < a {
+			t.Fatalf("%s shrank across searches: %v -> %v", name, a, b)
+		}
+	}
+	if metricValue(t, second, "cumulon_opt_candidates_total") != 2*cands1 {
+		t.Fatal("second identical search should double the candidate count")
+	}
+	if metricValue(t, second, "cumulon_opt_model_cache_hits_total") == 0 {
+		t.Fatal("second search should hit the model cache")
+	}
+	if metricValue(t, second, "cumulon_opt_winner_pred_seconds") <= 0 {
+		t.Fatal("winner gauge not set")
+	}
+}

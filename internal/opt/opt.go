@@ -26,18 +26,27 @@ import (
 )
 
 // Deployment is one fully specified way to run the program: a cluster and
-// the per-job splits tuned for it, with predicted time and price.
+// the per-job splits tuned for it, with predicted time and price. The
+// struct marshals to JSON with the full decision — including the tile
+// size and, for confidence-constrained searches, the promised quantile —
+// and round-trips through encoding/json.
 type Deployment struct {
-	Cluster cloud.Cluster
+	Cluster cloud.Cluster `json:"cluster"`
 	// TileSize is the storage tile size this deployment was planned for
 	// (a physical parameter the optimizer may sweep).
-	TileSize    int
-	Splits      map[int]plan.Split
-	PredSeconds float64
+	TileSize    int                `json:"tile_size"`
+	Splits      map[int]plan.Split `json:"splits"`
+	PredSeconds float64            `json:"pred_seconds"`
 	// Cost is the billed price (whole instance-hours); CostLinear is the
 	// idealized per-second price, reported for tradeoff curves.
-	Cost       float64
-	CostLinear float64
+	Cost       float64 `json:"cost"`
+	CostLinear float64 `json:"cost_linear"`
+	// Confidence and QuantileSeconds report the probabilistic promise of
+	// a confidence-constrained search: QuantileSeconds is the simulated
+	// Confidence-quantile completion time the deadline was checked
+	// against. Both are zero for point-estimate searches.
+	Confidence      float64 `json:"confidence,omitempty"`
+	QuantileSeconds float64 `json:"quantile_seconds,omitempty"`
 }
 
 // Apply copies the deployment's splits onto a freshly compiled plan so an
@@ -58,7 +67,15 @@ func (d *Deployment) Apply(pl *plan.Plan) error {
 }
 
 func (d *Deployment) String() string {
-	return fmt.Sprintf("%s: %.0fs, $%.2f", d.Cluster, d.PredSeconds, d.Cost)
+	s := d.Cluster.String()
+	if d.TileSize != 0 {
+		s += fmt.Sprintf(", tile %d", d.TileSize)
+	}
+	s += fmt.Sprintf(": %.0fs, $%.2f", d.PredSeconds, d.Cost)
+	if d.Confidence > 0 {
+		s += fmt.Sprintf(" (p%.0f %.0fs)", d.Confidence*100, d.QuantileSeconds)
+	}
+	return s
 }
 
 // Request describes an optimization problem.
@@ -88,6 +105,11 @@ type Request struct {
 	Confidence float64
 	// Trials is the Monte Carlo sample count for Confidence (default 30).
 	Trials int
+	// Search receives candidate-level telemetry of the search: every grid
+	// point evaluated, its model-term breakdown, why it was pruned, and
+	// the winner (see SearchRecorder). nil disables recording at zero
+	// cost.
+	Search SearchRecorder
 }
 
 func (r Request) withDefaults() Request {
@@ -116,6 +138,10 @@ type Result struct {
 	Candidates []Deployment
 	// Frontier is the Pareto-optimal (time, cost) subset, time-ascending.
 	Frontier []Deployment
+	// DominatedBy maps each candidate (by index into Candidates) to the
+	// index of a candidate that Pareto-dominates it, or -1 for frontier
+	// members — the counts the pareto filter previously dropped silently.
+	DominatedBy []int
 }
 
 // Optimizer caches calibrated task-time models across searches (the
@@ -133,10 +159,19 @@ func New(seed int64) *Optimizer {
 // ModelFor returns the (cached) calibrated model for a machine type and
 // slot configuration.
 func (o *Optimizer) ModelFor(mt cloud.MachineType, slots int) (*model.TaskModel, error) {
+	return o.modelFor(mt, slots, NopSearch())
+}
+
+// modelFor is ModelFor reporting cache hits and misses to the search
+// recorder (the paper's benchmarking phase is the expensive part; the
+// hit rate shows the cache amortizing it across the search grid).
+func (o *Optimizer) modelFor(mt cloud.MachineType, slots int, rec SearchRecorder) (*model.TaskModel, error) {
 	key := fmt.Sprintf("%s/%d", mt.Name, slots)
 	if m, ok := o.models[key]; ok {
+		rec.Count(CounterModelCacheHits, 1)
 		return m, nil
 	}
+	rec.Count(CounterModelCacheMisses, 1)
 	res, err := model.Calibrate(mt, slots, o.seed)
 	if err != nil {
 		return nil, err
@@ -177,9 +212,11 @@ func nodeSweep(maxNodes int) []int {
 
 // Enumerate evaluates the full deployment space for the request: every
 // (machine type, slots, nodes) triple, with per-job splits optimized by
-// the simulator for each.
+// the simulator for each. When req.Search is set, every grid point is
+// reported to it with its model-term breakdown.
 func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
 	req = req.withDefaults()
+	rec := searchOrNop(req.Search)
 	if _, err := req.Program.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,7 +227,7 @@ func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
 	var out []Deployment
 	for _, mt := range req.Machines {
 		for _, slots := range slotOptions(mt) {
-			tm, err := o.ModelFor(mt, slots)
+			tm, err := o.modelFor(mt, slots, rec)
 			if err != nil {
 				return nil, err
 			}
@@ -220,14 +257,23 @@ func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
 					for _, j := range pl.Jobs {
 						splits[j.ID] = j.Split
 					}
-					out = append(out, Deployment{
+					d := Deployment{
 						Cluster:     cluster,
 						TileSize:    ts,
 						Splits:      splits,
 						PredSeconds: secs,
 						Cost:        cloud.Cost(mt, nodes, secs),
 						CostLinear:  cloud.CostLinear(mt, nodes, secs),
-					})
+					}
+					if rec.Enabled() {
+						rec.Candidate(Candidate{
+							Seq:         len(out),
+							Deployment:  d,
+							Terms:       pred.PlanTerms(pl),
+							DominatedBy: -1,
+						})
+					}
+					out = append(out, d)
 				}
 			}
 		}
@@ -240,44 +286,87 @@ func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
 // fastest deployment found.
 func (o *Optimizer) MinCostForDeadline(req Request) (*Result, error) {
 	req = req.withDefaults()
+	rec := searchOrNop(req.Search)
 	if req.DeadlineSec <= 0 {
 		return nil, fmt.Errorf("opt: deadline must be positive")
 	}
+	rec.Begin("min-cost-deadline", req.DeadlineSec, req.Confidence)
+	rec.Count(CounterSearches, 1)
 	cands, err := o.Enumerate(req)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Candidates: cands, Frontier: pareto(cands)}
+	res := newResult(cands)
 	if req.Confidence > 0 && req.Confidence < 1 {
-		return o.minCostConfident(req, res)
+		return o.minCostConfident(req, res, rec)
 	}
-	var best, fastest *Deployment
+	best, fastest := -1, -1
 	for i := range cands {
 		d := &cands[i]
-		if fastest == nil || d.PredSeconds < fastest.PredSeconds {
-			fastest = d
+		if fastest == -1 || d.PredSeconds < cands[fastest].PredSeconds {
+			fastest = i
 		}
 		if d.PredSeconds > req.DeadlineSec {
 			continue
 		}
-		if best == nil || d.Cost < best.Cost ||
-			(d.Cost == best.Cost && d.PredSeconds < best.PredSeconds) {
-			best = d
+		if best == -1 || d.Cost < cands[best].Cost ||
+			(d.Cost == cands[best].Cost && d.PredSeconds < cands[best].PredSeconds) {
+			best = i
 		}
 	}
-	if best != nil {
-		res.Best, res.Met = best, true
-	} else {
-		res.Best, res.Met = fastest, false
+	win := best
+	if win >= 0 {
+		res.Best, res.Met = &cands[win], true
+	} else if fastest >= 0 {
+		win = fastest
+		res.Best, res.Met = &cands[win], false
+	}
+	if rec.Enabled() {
+		markDecision(rec, res, win, func(d *Deployment) PruneReason {
+			if d.PredSeconds > req.DeadlineSec {
+				return PruneOverDeadline
+			}
+			return PruneNone
+		})
 	}
 	return res, nil
+}
+
+// newResult builds a Result with the Pareto analysis of the candidates.
+func newResult(cands []Deployment) *Result {
+	frontier, dominatedBy := paretoSplit(cands)
+	return &Result{Candidates: cands, Frontier: frontier, DominatedBy: dominatedBy}
+}
+
+// markDecision reports every candidate's fate to the search recorder
+// once a winner is decided: constraint violations, Pareto dominance,
+// feasible-but-outranked, and the winner itself (possibly with Met
+// false for unsatisfiable constraints). infeasible classifies a
+// candidate against the search's constraint (PruneNone = feasible).
+func markDecision(rec SearchRecorder, res *Result, win int, infeasible func(*Deployment) PruneReason) {
+	for i := range res.Candidates {
+		d := &res.Candidates[i]
+		switch {
+		case i == win && res.Met:
+			// The winner's fate is recorded below.
+		case infeasible(d) != PruneNone:
+			rec.Prune(i, infeasible(d), -1, 0)
+		case res.DominatedBy[i] >= 0:
+			rec.Prune(i, PruneDominated, res.DominatedBy[i], 0)
+		default:
+			rec.Prune(i, PruneOutranked, -1, 0)
+		}
+	}
+	if win >= 0 {
+		rec.Winner(win, res.Met)
+	}
 }
 
 // minCostConfident picks the cheapest candidate whose Confidence-quantile
 // completion time (by Monte Carlo over the model's residual distribution)
 // meets the deadline. Candidates are verified lazily in cost order, so
 // the expensive simulation only touches the frontier.
-func (o *Optimizer) minCostConfident(req Request, res *Result) (*Result, error) {
+func (o *Optimizer) minCostConfident(req Request, res *Result, rec SearchRecorder) (*Result, error) {
 	trials := req.Trials
 	if trials <= 0 {
 		trials = 30
@@ -293,35 +382,72 @@ func (o *Optimizer) minCostConfident(req Request, res *Result) (*Result, error) 
 		}
 		return da.PredSeconds < db.PredSeconds
 	})
-	var fastest *Deployment
+	// Quantiles simulated and rejected, by candidate index, so the prune
+	// marks can be emitted in Seq order once the search decides.
+	rejected := map[int]float64{}
+	win, winQ := -1, 0.0
 	for _, idx := range order {
 		d := &res.Candidates[idx]
-		if fastest == nil || d.PredSeconds < fastest.PredSeconds {
-			fastest = d
-		}
 		// Point-infeasible candidates cannot become feasible at a higher
 		// quantile.
 		if d.PredSeconds > req.DeadlineSec {
 			continue
 		}
-		q, err := o.confQuantile(req, d, trials)
+		q, err := o.confQuantile(req, d, trials, rec)
 		if err != nil {
 			return nil, err
 		}
+		rec.Count(CounterSimTrials, int64(trials))
 		if q <= req.DeadlineSec {
+			win, winQ = idx, q
 			dd := *d
 			dd.PredSeconds = q // report the promised (quantile) time
+			dd.Confidence = req.Confidence
+			dd.QuantileSeconds = q
 			res.Best, res.Met = &dd, true
-			return res, nil
+			break
+		}
+		rejected[idx] = q
+	}
+	fastest := -1
+	for i := range res.Candidates {
+		if fastest == -1 || res.Candidates[i].PredSeconds < res.Candidates[fastest].PredSeconds {
+			fastest = i
 		}
 	}
-	res.Best, res.Met = fastest, false
+	if win < 0 && fastest >= 0 {
+		res.Best, res.Met = &res.Candidates[fastest], false
+	}
+	if rec.Enabled() {
+		for i := range res.Candidates {
+			d := &res.Candidates[i]
+			switch {
+			case i == win:
+				// Attach the promised quantile to the winner's record
+				// (PruneNone leaves it unrejected).
+				rec.Prune(i, PruneNone, -1, winQ)
+			case rejected[i] > 0:
+				rec.Prune(i, PruneConfidence, -1, rejected[i])
+			case d.PredSeconds > req.DeadlineSec:
+				rec.Prune(i, PruneOverDeadline, -1, 0)
+			case res.DominatedBy[i] >= 0:
+				rec.Prune(i, PruneDominated, res.DominatedBy[i], 0)
+			default:
+				rec.Prune(i, PruneOutranked, -1, 0)
+			}
+		}
+		if win >= 0 {
+			rec.Winner(win, true)
+		} else if fastest >= 0 {
+			rec.Winner(fastest, false)
+		}
+	}
 	return res, nil
 }
 
 // confQuantile recompiles the candidate's plan, applies its splits, and
 // simulates the completion-time quantile at the request's confidence.
-func (o *Optimizer) confQuantile(req Request, d *Deployment, trials int) (float64, error) {
+func (o *Optimizer) confQuantile(req Request, d *Deployment, trials int, rec SearchRecorder) (float64, error) {
 	cfg := req.PlanCfg
 	if d.TileSize != 0 {
 		cfg.TileSize = d.TileSize
@@ -333,7 +459,7 @@ func (o *Optimizer) confQuantile(req Request, d *Deployment, trials int) (float6
 	if err := d.Apply(pl); err != nil {
 		return 0, err
 	}
-	tm, err := o.ModelFor(d.Cluster.Type, d.Cluster.Slots)
+	tm, err := o.modelFor(d.Cluster.Type, d.Cluster.Slots, rec)
 	if err != nil {
 		return 0, err
 	}
@@ -347,32 +473,45 @@ func (o *Optimizer) confQuantile(req Request, d *Deployment, trials int) (float6
 // budget. If none exists, Met is false and Best is the cheapest.
 func (o *Optimizer) MinTimeForBudget(req Request) (*Result, error) {
 	req = req.withDefaults()
+	rec := searchOrNop(req.Search)
 	if req.BudgetDollars <= 0 {
 		return nil, fmt.Errorf("opt: budget must be positive")
 	}
+	rec.Begin("min-time-budget", req.BudgetDollars, 0)
+	rec.Count(CounterSearches, 1)
 	cands, err := o.Enumerate(req)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Candidates: cands, Frontier: pareto(cands)}
-	var best, cheapest *Deployment
+	res := newResult(cands)
+	best, cheapest := -1, -1
 	for i := range cands {
 		d := &cands[i]
-		if cheapest == nil || d.Cost < cheapest.Cost {
-			cheapest = d
+		if cheapest == -1 || d.Cost < cands[cheapest].Cost {
+			cheapest = i
 		}
 		if d.Cost > req.BudgetDollars {
 			continue
 		}
-		if best == nil || d.PredSeconds < best.PredSeconds ||
-			(d.PredSeconds == best.PredSeconds && d.Cost < best.Cost) {
-			best = d
+		if best == -1 || d.PredSeconds < cands[best].PredSeconds ||
+			(d.PredSeconds == cands[best].PredSeconds && d.Cost < cands[best].Cost) {
+			best = i
 		}
 	}
-	if best != nil {
-		res.Best, res.Met = best, true
-	} else {
-		res.Best, res.Met = cheapest, false
+	win := best
+	if win >= 0 {
+		res.Best, res.Met = &cands[win], true
+	} else if cheapest >= 0 {
+		win = cheapest
+		res.Best, res.Met = &cands[win], false
+	}
+	if rec.Enabled() {
+		markDecision(rec, res, win, func(d *Deployment) PruneReason {
+			if d.Cost > req.BudgetDollars {
+				return PruneOverBudget
+			}
+			return PruneNone
+		})
 	}
 	return res, nil
 }
@@ -380,20 +519,46 @@ func (o *Optimizer) MinTimeForBudget(req Request) (*Result, error) {
 // pareto returns the deployments not dominated in (time, cost), sorted by
 // time ascending (and thus cost descending).
 func pareto(cands []Deployment) []Deployment {
-	sorted := append([]Deployment(nil), cands...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].PredSeconds != sorted[j].PredSeconds {
-			return sorted[i].PredSeconds < sorted[j].PredSeconds
+	f, _ := paretoSplit(cands)
+	return f
+}
+
+// paretoSplit computes the Pareto frontier of the candidates in (time,
+// cost) and, for every dominated candidate, the index of a frontier
+// member that dominates it (-1 for frontier members). Dominance is
+// no-worse in both dimensions and strictly better in one; exact
+// (time, cost) ties keep the earliest-evaluated candidate on the
+// frontier and mark later duplicates dominated by it.
+func paretoSplit(cands []Deployment) ([]Deployment, []int) {
+	dominatedBy := make([]int, len(cands))
+	idx := make([]int, len(cands))
+	for i := range idx {
+		dominatedBy[i] = -1
+		idx[i] = i
+	}
+	// Stable sort by (time, cost): among exact ties the earliest-evaluated
+	// candidate sorts first and becomes the frontier member.
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := cands[idx[a]], cands[idx[b]]
+		if da.PredSeconds != db.PredSeconds {
+			return da.PredSeconds < db.PredSeconds
 		}
-		return sorted[i].Cost < sorted[j].Cost
+		return da.Cost < db.Cost
 	})
 	var out []Deployment
 	minCost := math.Inf(1)
-	for _, d := range sorted {
+	minCostIdx := -1
+	for _, i := range idx {
+		d := cands[i]
 		if d.Cost < minCost {
 			out = append(out, d)
 			minCost = d.Cost
+			minCostIdx = i
+		} else {
+			// The running min-cost candidate is no slower (sorted) and no
+			// costlier, and not an exact tie unless i came later: dominated.
+			dominatedBy[i] = minCostIdx
 		}
 	}
-	return out
+	return out, dominatedBy
 }

@@ -1,0 +1,75 @@
+package sim
+
+import "cumulon/internal/plan"
+
+// Terms decomposes a plan-time prediction into the task model's additive
+// terms, expressed as per-slot seconds: the summed task-seconds of each
+// term divided evenly over the cluster's slots, plus the serial per-job
+// startup. Total() is therefore a perfectly-packed lower bound on the
+// predicted makespan — close to PredictPlan when phases schedule into
+// full waves — and term *deltas* between two candidate deployments
+// explain where their predicted-time difference comes from (the
+// optimizer's EXPLAIN report prints exactly these).
+//
+// The categories mirror the obs read classes. RackSec is always zero
+// under the current predictor: its locality model splits reads into
+// node-local and everything-else, folding rack-local traffic into the
+// remote term; the field keeps term vectors aligned with the engine's
+// three-level locality accounting.
+type Terms struct {
+	// ComputeSec is the flop term (model BFlops · flops).
+	ComputeSec float64 `json:"compute_sec"`
+	// LocalSec is the disk term: node-local reads plus primary writes.
+	LocalSec float64 `json:"local_sec"`
+	// RackSec is rack-local read time (zero; see the type comment).
+	RackSec float64 `json:"rack_sec"`
+	// RemoteSec is the network term: remote reads plus replica writes.
+	RemoteSec float64 `json:"remote_sec"`
+	// StartupSec is fixed overhead: per-job launch (serial) plus the
+	// per-task intercept spread over the slots.
+	StartupSec float64 `json:"startup_sec"`
+}
+
+// Total returns the summed seconds across terms.
+func (t Terms) Total() float64 {
+	return t.ComputeSec + t.LocalSec + t.RackSec + t.RemoteSec + t.StartupSec
+}
+
+// Sub returns the element-wise difference t - o.
+func (t Terms) Sub(o Terms) Terms {
+	return Terms{
+		ComputeSec: t.ComputeSec - o.ComputeSec,
+		LocalSec:   t.LocalSec - o.LocalSec,
+		RackSec:    t.RackSec - o.RackSec,
+		RemoteSec:  t.RemoteSec - o.RemoteSec,
+		StartupSec: t.StartupSec - o.StartupSec,
+	}
+}
+
+// PlanTerms decomposes the predictor's estimate for the plan (under its
+// current splits) into model terms. It applies the same replication
+// geometry and locality split as TaskSeconds, so the decomposition is
+// consistent with PredictPlan's totals.
+func (p *Predictor) PlanTerms(pl *plan.Plan) Terms {
+	slots := float64(p.Cluster.TotalSlots())
+	repl := int64(p.replication())
+	lf := p.localFraction()
+	var t Terms
+	for _, j := range pl.Jobs {
+		t.StartupSec += p.JobStartup
+		for _, phase := range plan.TaskProfiles(j) {
+			for _, w := range phase {
+				local := int64(float64(w.ReadBytes) * lf)
+				remote := w.ReadBytes - local
+				disk := local + w.WriteBytes
+				net := remote + w.WriteBytes*(repl-1)
+				b0, fl, dk, nt := p.Model.Terms(w.Flops, disk, net)
+				t.StartupSec += b0 / slots
+				t.ComputeSec += fl / slots
+				t.LocalSec += dk / slots
+				t.RemoteSec += nt / slots
+			}
+		}
+	}
+	return t
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cumulon/internal/bench"
+	"cumulon/internal/chaos"
 	"cumulon/internal/obs"
 	"cumulon/internal/opt"
 )
@@ -33,10 +34,19 @@ func main() {
 		"write a Prometheus-style text metrics snapshot of the benchmarked runs to this file (\"-\" for stdout)")
 	searchOut := flag.String("searchtrace", "",
 		"write the optimizer search trace of E10-E12 to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
+	chaosSpec := flag.String("chaos", "",
+		"inject a deterministic fault schedule into every engine run, e.g. \"seed=7,kill=3@120,taskfault=0.02\"")
 	flag.Parse()
+
+	sched, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	s := bench.NewSuite(*seed)
 	s.Workers = *workers
+	s.Chaos = sched
 	var tr *obs.Trace
 	if *traceOut != "" || *metricsOut != "" {
 		tr = obs.NewTrace()

@@ -17,6 +17,8 @@ import (
 	"os"
 	"strings"
 
+	"cumulon/internal/chaos"
+	"cumulon/internal/core"
 	"cumulon/internal/lang"
 	"cumulon/internal/opt"
 	"cumulon/internal/plan"
@@ -46,6 +48,8 @@ func run() error {
 		"write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
 	frontierSVG := flag.String("frontier-svg", "",
 		"write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
+	chaosSpec := flag.String("chaos", "",
+		"stress-test the recommendation: execute the chosen deployment under this fault schedule (e.g. \"seed=7,kill=0@120,taskfault=0.02\") and report the slowdown against the prediction")
 	flag.Parse()
 
 	if (*deadline <= 0) == (*budget <= 0) {
@@ -132,6 +136,26 @@ func run() error {
 		if err := writeTo(*frontierSVG, st.WriteFrontierSVG); err != nil {
 			return err
 		}
+	}
+	if *chaosSpec != "" {
+		sched, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		sess := core.NewSession(*seed)
+		vres, err := sess.RunDeployment(prog, cfg, b, core.ExecOptions{Chaos: sched})
+		if err != nil {
+			return fmt.Errorf("chaos validation run: %w", err)
+		}
+		m := vres.Metrics
+		fmt.Printf("\nchaos validation (%s):\n", sched)
+		fmt.Printf("  actual time:  %.1fs (predicted %.1fs, %.2fx)\n",
+			m.TotalSeconds, b.PredSeconds, m.TotalSeconds/b.PredSeconds)
+		fmt.Printf("  recovery:     %d node crash(es), %d task retries, %.1fs lost\n",
+			m.NodeCrashes, m.TotalRetries, m.RecoverySeconds)
+		fmt.Printf("  re-replicated: %.2f GB, %d blocks lost\n",
+			float64(m.RereplicatedBytes)/1e9, m.BlocksLost)
+		fmt.Printf("  billed cost:  $%.2f\n", vres.CostDollars)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
@@ -79,12 +80,21 @@ func run() error {
 		"with -optimize: write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
 	frontierOut := flag.String("frontier", "",
 		"with -optimize: write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
+	chaosSpec := flag.String("chaos", "",
+		"inject a deterministic fault schedule, e.g. \"seed=7,kill=3@120,taskfault=0.02,readfault=0.01\" (kill=NODE@SECONDS repeats)")
+	maxRetries := flag.Int("max-retries", 0,
+		"per-task retry budget under faults (0 = default of 3, negative = no retries)")
 	flag.Parse()
 	if *asJSON {
 		*showPlan = false
 	}
 	if !*optimize && (*explain || *searchTrace != "" || *frontierOut != "") {
 		return fmt.Errorf("-explain, -searchtrace and -frontier require -optimize")
+	}
+
+	sched, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		return err
 	}
 
 	src, err := readSource(*file)
@@ -193,7 +203,7 @@ func run() error {
 		cluster = dep.Cluster
 	}
 
-	opts := core.ExecOptions{Cluster: cluster, Workers: *workers}
+	opts := core.ExecOptions{Cluster: cluster, Workers: *workers, Chaos: sched, MaxTaskRetries: *maxRetries}
 	if *materialize {
 		opts.Inputs = randomInputs(prog, cfg, *seed)
 	}
@@ -258,6 +268,11 @@ func run() error {
 		float64(res.Metrics.TotalFlops)/1e9,
 		float64(res.Metrics.TotalReadBytes)/1e9,
 		float64(res.Metrics.TotalWriteBytes)/1e9)
+	if m := res.Metrics; m.NodeCrashes > 0 || m.TotalRetries > 0 {
+		fmt.Printf("recovery: %d node crash(es), %d task retries, %.1fs lost, %.2f GB re-replicated, %d blocks lost\n",
+			m.NodeCrashes, m.TotalRetries, m.RecoverySeconds,
+			float64(m.RereplicatedBytes)/1e9, m.BlocksLost)
+	}
 	fmt.Printf("bill: $%.2f\n", res.CostDollars)
 	for name, d := range res.Outputs {
 		fmt.Printf("output %s: %dx%d, frobenius %.4g\n", name, d.Rows, d.Cols, d.FrobeniusNorm())
@@ -283,6 +298,10 @@ func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
 		TotalGflops  float64  `json:"total_gflops"`
 		ReadGB       float64  `json:"read_gb"`
 		WriteGB      float64  `json:"write_gb"`
+		NodeCrashes  int      `json:"node_crashes,omitempty"`
+		Retries      int      `json:"retries,omitempty"`
+		RecoverySec  float64  `json:"recovery_seconds,omitempty"`
+		RereplGB     float64  `json:"rereplicated_gb,omitempty"`
 		Jobs         []jobOut `json:"jobs"`
 	}{
 		Cluster:      cluster.String(),
@@ -294,6 +313,10 @@ func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
 		TotalGflops:  float64(res.Metrics.TotalFlops) / 1e9,
 		ReadGB:       float64(res.Metrics.TotalReadBytes) / 1e9,
 		WriteGB:      float64(res.Metrics.TotalWriteBytes) / 1e9,
+		NodeCrashes:  res.Metrics.NodeCrashes,
+		Retries:      res.Metrics.TotalRetries,
+		RecoverySec:  res.Metrics.RecoverySeconds,
+		RereplGB:     float64(res.Metrics.RereplicatedBytes) / 1e9,
 	}
 	for _, j := range res.Metrics.Jobs {
 		report.Jobs = append(report.Jobs, jobOut{Name: j.Name, Kind: j.Kind, Tasks: j.Tasks, Seconds: j.Seconds()})

@@ -10,6 +10,7 @@ package cumulon
 import (
 	"testing"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/compute"
 	"cumulon/internal/exec"
@@ -58,9 +59,7 @@ func variants(t *testing.T) []engineVariant {
 		}},
 		{"faulty", func(cl cloud.Cluster) exec.Config {
 			return exec.Config{Cluster: cl, Materialize: true, Seed: 6,
-				FaultInjector: func(jobID, phase, index, attempt int) bool {
-					return attempt == 0 && index%5 == 0
-				}}
+				Chaos: &chaos.Schedule{Seed: 6, TaskFaultProb: 0.1, ReadFaultProb: 0.03}}
 		}},
 	}
 }

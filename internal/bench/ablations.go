@@ -2,11 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
 	"cumulon/internal/plan"
 	"cumulon/internal/spot"
 	"cumulon/internal/workloads"
@@ -110,7 +113,7 @@ output D
 // runVirtualCfg is runVirtual with a caller-supplied plan configuration
 // (used by the ablations to flip planner features).
 func (s *Suite) runVirtualCfg(prog *lang.Program, cfg plan.Config, cl cloud.Cluster) (*exec.RunMetrics, error) {
-	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Recorder: s.Recorder})
+	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Recorder: s.Recorder, Chaos: s.Chaos})
 	if err != nil {
 		return nil, err
 	}
@@ -438,8 +441,135 @@ func (s *Suite) E20FaultRecovery() (*Result, error) {
 		r.Checks[fmt.Sprintf("slowdown:%d", dead)] = slowdown
 		r.Checks[fmt.Sprintf("rerepl:%d", dead)] = float64(rerepl)
 	}
+	// Mid-run chaos: the same workload with a node crash delivered while
+	// the program is executing (at 40% of the fault-free makespan) plus
+	// transient task and read faults. The scheduler retries onto the
+	// survivors and the DFS re-replicates from the remaining copies, so
+	// the run completes — slower, never wrong.
+	if base > 0 {
+		pl, err := plan.Compile(w.Prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl := s.cluster(cmpType, cmpNodes, cmpSlots)
+		pl.AutoSplit(cl.TotalSlots())
+		sched := &chaos.Schedule{
+			Seed:          s.Seed,
+			Crashes:       []chaos.NodeCrash{{Node: 0, At: 0.4 * base}},
+			TaskFaultProb: 0.02,
+			ReadFaultProb: 0.01,
+		}
+		eng, err := exec.New(exec.Config{Cluster: cl, Seed: s.Seed, NoiseFactor: 0.08, Chaos: sched})
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range pl.Inputs {
+			if err := eng.LoadVirtual(in); err != nil {
+				return nil, err
+			}
+		}
+		m, err := eng.Run(pl)
+		if err != nil {
+			return nil, err
+		}
+		r.Table.AddRow("1 mid-run", "true", f1(m.TotalSeconds),
+			gb(m.RereplicatedBytes), f2(m.TotalSeconds/base))
+		r.Checks["midrun:crashes"] = float64(m.NodeCrashes)
+		r.Checks["midrun:retries"] = float64(m.TotalRetries)
+		r.Checks["midrun:rerepl"] = float64(m.RereplicatedBytes)
+		r.Checks["midrun:slowdown"] = m.TotalSeconds / base
+	}
+
+	// Materialized bit-identity spot check at small scale: recovery must
+	// change the timeline, never the data.
+	bitident, err := s.chaosBitIdentity()
+	if err != nil {
+		return nil, err
+	}
+	r.Checks["bitident"] = boolTo01(bitident)
+
 	r.Table.Notes = "losing nodes costs capacity (~n/(n-k) slowdown) plus re-replication traffic; no data loss at k < replication"
 	return r, nil
+}
+
+// chaosBitIdentity runs a small materialized GNMF iteration on a racked
+// cluster twice — fault-free, then under a chaos schedule that kills a
+// node mid-program and injects transient faults — and reports whether the
+// outputs match bit for bit.
+func (s *Suite) chaosBitIdentity() (bool, error) {
+	prog, err := lang.Parse(`
+input V 26 22 sparse
+input W 26 4
+input H 4 22
+H = H .* (W' * V) ./ ((W' * W) * H)
+W = W .* (V * H') ./ (W * (H * H'))
+output W
+output H
+`)
+	if err != nil {
+		return false, err
+	}
+	inputs := map[string]*linalg.Dense{
+		"V": linalg.RandomSparseDense(26, 22, 0.25, 31),
+		"W": linalg.RandomDense(26, 4, 32).Map(func(x float64) float64 { return x + 0.5 }),
+		"H": linalg.RandomDense(4, 22, 33).Map(func(x float64) float64 { return x + 0.5 }),
+	}
+	run := func(sched *chaos.Schedule) (map[string]*linalg.Dense, *exec.RunMetrics, error) {
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 8, Densities: map[string]float64{"V": 0.25}})
+		if err != nil {
+			return nil, nil, err
+		}
+		cl := s.cluster(cmpType, 4, 2)
+		pl.AutoSplit(cl.TotalSlots())
+		eng, err := exec.New(exec.Config{
+			Cluster: cl, Materialize: true, Seed: s.Seed, NoiseFactor: 0.08,
+			RackSize: 2, Workers: s.Workers, Chaos: sched,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, in := range pl.Inputs {
+			if err := eng.LoadDense(in, inputs[in.Name]); err != nil {
+				return nil, nil, err
+			}
+		}
+		m, err := eng.Run(pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs := map[string]*linalg.Dense{}
+		for name, meta := range pl.Outputs {
+			d, err := eng.FetchOutput(meta)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs[name] = d
+		}
+		return outs, m, nil
+	}
+	clean, cleanM, err := run(nil)
+	if err != nil {
+		return false, err
+	}
+	faulty, faultyM, err := run(&chaos.Schedule{
+		Seed:          s.Seed + 1,
+		Crashes:       []chaos.NodeCrash{{Node: 3, At: 0.4 * cleanM.TotalSeconds}},
+		TaskFaultProb: 0.05,
+		ReadFaultProb: 0.02,
+	})
+	if err != nil {
+		return false, err
+	}
+	if faultyM.NodeCrashes != 1 {
+		return false, fmt.Errorf("E20: chaos crash not delivered (crashes=%d)", faultyM.NodeCrashes)
+	}
+	for name, want := range clean {
+		got := faulty[name]
+		if got == nil || !reflect.DeepEqual(want.Data, got.Data) {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // E22TileCache measures the memory-caching configuration setting: GNMF

@@ -15,6 +15,7 @@ import (
 	"io"
 	"strings"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/exec"
@@ -112,6 +113,10 @@ type Suite struct {
 	// an opt.SearchTrace for its -searchtrace flag). nil disables
 	// recording.
 	Search opt.SearchRecorder
+	// Chaos, when set, injects the fault schedule into every engine run
+	// the suite performs (the bench binary's -chaos flag). Experiments
+	// that construct their own fault scenarios (E20) ignore it.
+	Chaos *chaos.Schedule
 }
 
 // NewSuite constructs a suite; all randomness derives from seed.
@@ -142,7 +147,7 @@ func (s *Suite) runVirtual(prog *lang.Program, cfg plan.Config, cl cloud.Cluster
 // runVirtualRec is runVirtual recording into a caller-supplied recorder
 // (E08 uses a fresh obs.Trace per run for the predicted-vs-actual diff).
 func (s *Suite) runVirtualRec(prog *lang.Program, cfg plan.Config, cl cloud.Cluster, rec obs.Recorder) (*exec.RunMetrics, error) {
-	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Workers: s.Workers, Recorder: rec})
+	res, err := s.Sess.Run(prog, cfg, core.ExecOptions{Cluster: cl, Workers: s.Workers, Recorder: rec, Chaos: s.Chaos})
 	if err != nil {
 		return nil, err
 	}

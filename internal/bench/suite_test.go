@@ -302,6 +302,18 @@ func TestE20FaultRecovery(t *testing.T) {
 	if check(t, r, "slowdown:4") < 1.0 {
 		t.Fatal("losing a quarter of the cluster should not speed things up")
 	}
+	if check(t, r, "midrun:crashes") != 1 {
+		t.Fatal("mid-run crash was not delivered")
+	}
+	if check(t, r, "midrun:rerepl") <= 0 {
+		t.Fatal("mid-run crash should trigger re-replication traffic")
+	}
+	if check(t, r, "midrun:slowdown") <= 1.0 {
+		t.Fatal("losing a node mid-run should cost time")
+	}
+	if check(t, r, "bitident") != 1 {
+		t.Fatal("chaos run results diverged from the fault-free oracle")
+	}
 }
 
 // E21: predicted percentiles track the empirical run distribution; the

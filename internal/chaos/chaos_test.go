@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=7,kill=3@120,kill=5@300.5,taskfault=0.02,readfault=0.01"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || len(s.Crashes) != 2 || s.TaskFaultProb != 0.02 || s.ReadFaultProb != 0.01 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Crashes[1] != (NodeCrash{Node: 5, At: 300.5}) {
+		t.Fatalf("crash[1] = %+v", s.Crashes[1])
+	}
+	if got := s.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != spec {
+		t.Fatalf("round trip = %q", s2.String())
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	s, err := Parse("   ")
+	if err != nil || s != nil {
+		t.Fatalf("empty spec: %v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"seed",            // not key=value
+		"seed=x",          // bad int
+		"kill=3",          // missing @time
+		"kill=a@1",        // bad node
+		"kill=3@x",        // bad time
+		"kill=-1@5",       // negative node
+		"kill=1@-5",       // negative time
+		"taskfault=1.5",   // out of range
+		"readfault=-0.1",  // out of range
+		"frobnicate=true", // unknown key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in != NewInjector(nil) {
+		t.Fatal("NewInjector(nil) should be nil")
+	}
+	if in.TaskFault(0, 0, 0, 0) || in.ReadFault("/a", 0, 0, 0, 0) {
+		t.Fatal("nil injector faulted")
+	}
+	if _, ok := in.NextCrash(math.MaxFloat64); ok {
+		t.Fatal("nil injector crashed")
+	}
+	if in.CrashedBefore(math.MaxFloat64) != 0 {
+		t.Fatal("nil injector counted crashes")
+	}
+}
+
+func TestNextCrashOrderedDelivery(t *testing.T) {
+	in := NewInjector(&Schedule{Crashes: []NodeCrash{{Node: 2, At: 50}, {Node: 1, At: 10}, {Node: 3, At: 50}}})
+	if _, ok := in.NextCrash(5); ok {
+		t.Fatal("crash before its time")
+	}
+	c, ok := in.NextCrash(10)
+	if !ok || c.Node != 1 {
+		t.Fatalf("first crash = %+v, %v", c, ok)
+	}
+	// Coincident crashes drain in declaration order.
+	c, ok = in.NextCrash(60)
+	if !ok || c.Node != 2 {
+		t.Fatalf("second crash = %+v, %v", c, ok)
+	}
+	c, ok = in.NextCrash(60)
+	if !ok || c.Node != 3 {
+		t.Fatalf("third crash = %+v, %v", c, ok)
+	}
+	if _, ok := in.NextCrash(math.MaxFloat64); ok {
+		t.Fatal("crash after drain")
+	}
+	if got := in.CrashedBefore(50); got != 1 {
+		t.Fatalf("CrashedBefore(50) = %d, want 1 (strict)", got)
+	}
+	if got := in.CrashedBefore(51); got != 3 {
+		t.Fatalf("CrashedBefore(51) = %d, want 3", got)
+	}
+}
+
+func TestTargetFaults(t *testing.T) {
+	in := NewInjector(&Schedule{Targets: []TargetFault{
+		{Job: 0, Phase: 0, Index: 0, Attempts: 2},
+		{Job: 1, Phase: -1, Index: -1, Attempts: 1},
+	}})
+	if !in.TaskFault(0, 0, 0, 0) || !in.TaskFault(0, 0, 0, 1) {
+		t.Fatal("targeted attempts should fault")
+	}
+	if in.TaskFault(0, 0, 0, 2) {
+		t.Fatal("attempt past budget should succeed")
+	}
+	if in.TaskFault(0, 0, 1, 0) {
+		t.Fatal("untargeted task faulted")
+	}
+	if !in.TaskFault(1, 3, 9, 0) || in.TaskFault(1, 3, 9, 1) {
+		t.Fatal("wildcard target wrong")
+	}
+}
+
+// Probabilistic decisions must be pure functions of the coordinates —
+// repeat calls agree, distinct seeds disagree somewhere, and the
+// empirical rate tracks the configured probability.
+func TestHashFaultDeterminismAndRate(t *testing.T) {
+	const p = 0.2
+	a := NewInjector(&Schedule{Seed: 1, TaskFaultProb: p, ReadFaultProb: p})
+	b := NewInjector(&Schedule{Seed: 1, TaskFaultProb: p, ReadFaultProb: p})
+	other := NewInjector(&Schedule{Seed: 2, TaskFaultProb: p})
+	hits, diff := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		got := a.TaskFault(i%7, i%3, i, 0)
+		if got != b.TaskFault(i%7, i%3, i, 0) {
+			t.Fatal("same seed disagreed")
+		}
+		if a.ReadFault("/x/y", i%7, i%3, i, 0) != b.ReadFault("/x/y", i%7, i%3, i, 0) {
+			t.Fatal("same seed disagreed on read")
+		}
+		if got {
+			hits++
+		}
+		if got != other.TaskFault(i%7, i%3, i, 0) {
+			diff++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < p-0.05 || rate > p+0.05 {
+		t.Fatalf("empirical fault rate %.3f far from %.2f", rate, p)
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical decisions")
+	}
+}
+
+func TestReadFaultDependsOnPath(t *testing.T) {
+	in := NewInjector(&Schedule{Seed: 9, ReadFaultProb: 0.5})
+	if in.ReadFault("", 0, 0, 0, 0) {
+		t.Fatal("empty path must never fault")
+	}
+	diff := false
+	for i := 0; i < 64 && !diff; i++ {
+		diff = in.ReadFault("/a", 0, 0, i, 0) != in.ReadFault("/b", 0, 0, i, 0)
+	}
+	if !diff {
+		t.Fatal("path never influenced the decision")
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
@@ -90,6 +91,13 @@ type ExecOptions struct {
 	// Recorder receives the run's observability spans (see obs.Recorder);
 	// nil disables recording at zero cost.
 	Recorder obs.Recorder
+	// Chaos injects a deterministic fault schedule — node crashes,
+	// transient task and read faults — into the run (see chaos.Schedule).
+	// Recovery changes the timeline, never the results.
+	Chaos *chaos.Schedule
+	// MaxTaskRetries bounds per-task retry attempts under faults
+	// (default 3; negative means no retries).
+	MaxTaskRetries int
 }
 
 // ExecResult is one finished execution.
@@ -144,13 +152,15 @@ func (s *Session) execute(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions
 	}
 	materialize := opts.Inputs != nil
 	eng, err := exec.New(exec.Config{
-		Cluster:     cluster,
-		Replication: opts.Replication,
-		Materialize: materialize,
-		Seed:        seed,
-		NoiseFactor: noise,
-		Workers:     opts.Workers,
-		Recorder:    opts.Recorder,
+		Cluster:        cluster,
+		Replication:    opts.Replication,
+		Materialize:    materialize,
+		Seed:           seed,
+		NoiseFactor:    noise,
+		Workers:        opts.Workers,
+		Recorder:       opts.Recorder,
+		Chaos:          opts.Chaos,
+		MaxTaskRetries: opts.MaxTaskRetries,
 	})
 	if err != nil {
 		return nil, err

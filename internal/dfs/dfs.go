@@ -276,7 +276,10 @@ func (fs *FS) ReadAccount(path string, readerNode int) (ReadSplit, error) {
 // replica on the writer when possible; with racks configured, the second
 // replica on a different rack than the first and the third on the same
 // rack as the second; remaining replicas (and all replicas in single-rack
-// clusters) are placed uniformly at random among unused live nodes.
+// clusters) are placed uniformly at random among unused live nodes. A
+// writerNode outside [0, Nodes) — including one past the cluster, e.g. an
+// uploader addressed by a stale topology — is an external client: all
+// replicas are placed randomly.
 func (fs *FS) placeReplicas(writerNode int) []int {
 	live := fs.liveNodesLocked()
 	if len(live) == 0 {
@@ -286,17 +289,26 @@ func (fs *FS) placeReplicas(writerNode int) []int {
 	if want > len(live) {
 		want = len(live)
 	}
-	used := map[int]bool{}
 	replicas := make([]int, 0, want)
-	add := func(n int) {
-		replicas = append(replicas, n)
-		used[n] = true
+	if writerNode >= 0 && writerNode < fs.cfg.Nodes && !fs.dead[writerNode] {
+		replicas = append(replicas, writerNode)
 	}
-	if writerNode >= 0 && !fs.dead[writerNode] {
-		add(writerNode)
+	return fs.fillReplicaTargets(replicas, want)
+}
+
+// fillReplicaTargets extends replicas with live nodes up to want entries,
+// applying the staged HDFS rack policy relative to the existing replicas
+// (second replica off the first's rack, third on the second's rack) and
+// filling the rest uniformly at random. It is the shared target-selection
+// policy of fresh writes and of post-failure re-replication, so recovered
+// blocks spread exactly like newly written ones. Caller holds the lock.
+func (fs *FS) fillReplicaTargets(replicas []int, want int) []int {
+	used := map[int]bool{}
+	for _, r := range replicas {
+		used[r] = true
 	}
-	cands := make([]int, 0, len(live))
-	for _, n := range live {
+	var cands []int
+	for _, n := range fs.liveNodesLocked() {
 		if !used[n] {
 			cands = append(cands, n)
 		}
@@ -306,7 +318,8 @@ func (fs *FS) placeReplicas(writerNode int) []int {
 	pick := func(pred func(n int) bool) bool {
 		for _, n := range cands {
 			if !used[n] && pred(n) {
-				add(n)
+				replicas = append(replicas, n)
+				used[n] = true
 				return true
 			}
 		}
@@ -488,43 +501,85 @@ func (fs *FS) List(prefix string) []string {
 	return out
 }
 
+// RecoveryReport summarizes the namenode-driven recovery triggered by one
+// node death.
+type RecoveryReport struct {
+	BlocksLost      int   // blocks whose every replica was on dead nodes
+	BlocksRecovered int   // blocks that received at least one new replica
+	ReplicasAdded   int   // total new replicas created
+	BytesMoved      int64 // bytes copied from surviving sources to receivers
+}
+
 // KillNode marks a datanode dead and re-replicates every block that lost a
 // replica, using the remaining live copies as sources (namenode-driven
-// recovery, as in HDFS). Blocks whose every replica was on dead nodes
-// become unavailable.
-func (fs *FS) KillNode(node int) {
+// recovery, as in HDFS). Targets are chosen by the same rack-aware policy
+// as fresh writes, spread randomly rather than piling onto low-numbered
+// nodes, and each copy charges a read on a surviving source replica
+// (rack-local or remote by topology) as well as the replication write on
+// the receiver. Blocks whose every replica was on dead nodes become
+// unavailable. Files are processed in sorted path order so the recovery
+// traffic is deterministic for a given placement history.
+func (fs *FS) KillNode(node int) RecoveryReport {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	var rep RecoveryReport
 	if node < 0 || node >= fs.cfg.Nodes || fs.dead[node] {
-		return
+		return rep
 	}
 	fs.dead[node] = true
-	for _, f := range fs.files {
-		for _, b := range f.blocks {
-			live := fs.liveReplicas(b)
-			if len(live) == 0 || len(live) >= fs.cfg.Replication {
-				continue
-			}
-			// Re-replicate onto live nodes not already holding the block.
-			have := map[int]bool{}
-			for _, r := range live {
-				have[r] = true
-			}
-			for _, n := range fs.liveNodesLocked() {
-				if len(live) >= fs.cfg.Replication {
+	liveNodes := len(fs.liveNodesLocked())
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		for _, b := range fs.files[p].blocks {
+			lost := false
+			for _, r := range b.replicas {
+				if r == node {
+					lost = true
 					break
 				}
-				if have[n] {
-					continue
-				}
-				live = append(live, n)
-				have[n] = true
-				fs.stats[n].ReplicationBytes += b.size
-				fs.total.ReplicationBytes += b.size
 			}
-			b.replicas = live
+			if !lost {
+				continue
+			}
+			live := fs.liveReplicas(b)
+			if len(live) == 0 {
+				rep.BlocksLost++
+				continue
+			}
+			want := fs.cfg.Replication
+			if want > liveNodes {
+				want = liveNodes
+			}
+			if len(live) >= want {
+				b.replicas = live
+				continue
+			}
+			grown := fs.fillReplicaTargets(append([]int(nil), live...), want)
+			if len(grown) > len(live) {
+				rep.BlocksRecovered++
+			}
+			for _, dst := range grown[len(live):] {
+				src := live[fs.rng.Intn(len(live))]
+				if fs.cfg.RackSize > 0 && fs.RackOf(src) == fs.RackOf(dst) {
+					fs.stats[src].RackLocalReadBytes += b.size
+					fs.total.RackLocalReadBytes += b.size
+				} else {
+					fs.stats[src].RemoteReadBytes += b.size
+					fs.total.RemoteReadBytes += b.size
+				}
+				fs.stats[dst].ReplicationBytes += b.size
+				fs.total.ReplicationBytes += b.size
+				rep.ReplicasAdded++
+				rep.BytesMoved += b.size
+			}
+			b.replicas = grown
 		}
 	}
+	return rep
 }
 
 // NodeAlive reports whether the datanode is live.

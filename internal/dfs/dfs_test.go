@@ -426,3 +426,107 @@ func TestSingleRackHasNoRackLocalReads(t *testing.T) {
 		t.Fatalf("single-rack split: %+v", sp)
 	}
 }
+
+func TestExternalWriterPastClusterTreatedAsClient(t *testing.T) {
+	fs := New(Config{Nodes: 4, Replication: 2, Seed: 6})
+	// A writer node at or past Nodes is an external client, not a crash.
+	if err := fs.Write("/ext", make([]byte, 100), 9); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := fs.ReplicaNodes("/ext")
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("replicas: %v err %v", nodes, err)
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= 4 {
+			t.Fatalf("replica on nonexistent node %d", n)
+		}
+	}
+	if err := fs.WriteVirtual("/extv", 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fs.Read("/ext", 1); err != nil || len(got) != 100 {
+		t.Fatalf("read: %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestKillNodeReportAndSourceCharging(t *testing.T) {
+	fs := New(Config{Nodes: 6, Replication: 2, Seed: 8})
+	const size = 1000
+	if err := fs.WriteVirtual("/a", size, 1); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ := fs.ReplicaNodes("/a")
+	survivor := nodes[1]
+	fs.ResetStats()
+	rep := fs.KillNode(nodes[0])
+	if rep.BlocksRecovered != 1 || rep.ReplicasAdded != 1 || rep.BytesMoved != size {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.BlocksLost != 0 {
+		t.Fatalf("no block should be lost: %+v", rep)
+	}
+	// The copy reads size bytes off the surviving source and writes size
+	// bytes of replication traffic onto the new holder.
+	if got := fs.Stats(survivor).RemoteReadBytes; got != size {
+		t.Fatalf("source read bytes on node %d: %d", survivor, got)
+	}
+	tot := fs.Stats(-1)
+	if tot.RemoteReadBytes != size || tot.ReplicationBytes != size {
+		t.Fatalf("totals: %+v", tot)
+	}
+	// Killing an already-dead or out-of-range node is a no-op.
+	if rep := fs.KillNode(nodes[0]); rep != (RecoveryReport{}) {
+		t.Fatalf("double kill: %+v", rep)
+	}
+	if rep := fs.KillNode(99); rep != (RecoveryReport{}) {
+		t.Fatalf("kill out of range: %+v", rep)
+	}
+}
+
+func TestKillNodeRackAwareRecovery(t *testing.T) {
+	// Replication 2 on 2 racks: after recovery each block's replicas must
+	// span both racks again (policy: second replica off the first's rack),
+	// and recovery targets must spread rather than pile onto one node.
+	fs := New(Config{Nodes: 8, Replication: 2, RackSize: 4, Seed: 9})
+	for i := 0; i < 40; i++ {
+		if err := fs.WriteVirtual(fmt.Sprintf("/r/%d", i), 100, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := fs.KillNode(2)
+	if rep.BlocksRecovered == 0 || rep.BytesMoved == 0 {
+		t.Fatalf("expected recovery work: %+v", rep)
+	}
+	targets := map[int]int{}
+	for i := 0; i < 40; i++ {
+		nodes, err := fs.ReplicaNodes(fmt.Sprintf("/r/%d", i))
+		if err != nil || len(nodes) != 2 {
+			t.Fatalf("file %d replicas: %v err %v", i, nodes, err)
+		}
+		racks := map[int]bool{}
+		for _, n := range nodes {
+			racks[fs.RackOf(n)] = true
+			targets[n]++
+		}
+		if len(racks) != 2 {
+			t.Fatalf("file %d: recovered replicas on one rack: %v", i, nodes)
+		}
+	}
+	// With 40 blocks and 7 live candidates, an unbiased policy cannot put
+	// every recovered replica on the single lowest-numbered live node.
+	if targets[0] == 80-40 && len(targets) <= 3 {
+		t.Fatalf("recovery piled onto low node ids: %v", targets)
+	}
+}
+
+func TestKillNodeLostBlocksCounted(t *testing.T) {
+	fs := New(Config{Nodes: 3, Replication: 1, Seed: 10})
+	if err := fs.WriteVirtual("/only", 500, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := fs.KillNode(1)
+	if rep.BlocksLost != 1 || rep.BlocksRecovered != 0 || rep.BytesMoved != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/compute"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
@@ -35,8 +36,8 @@ func gnmfData() map[string]*linalg.Dense {
 
 // runGNMF executes the GNMF iteration materialized on a racked, cached,
 // noisy, speculating cluster with the given backend (nil = engine default),
-// optional fault injector and optional span recorder.
-func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, attempt int) bool, rec obs.Recorder) (map[string]*linalg.Dense, *RunMetrics) {
+// optional chaos schedule and optional span recorder.
+func runGNMF(t *testing.T, be compute.Backend, sched *chaos.Schedule, rec obs.Recorder) (map[string]*linalg.Dense, *RunMetrics) {
 	t.Helper()
 	e, err := New(Config{
 		Cluster:       testCluster(t, 4, 2),
@@ -47,7 +48,7 @@ func runGNMF(t *testing.T, be compute.Backend, faults func(jobID, phase, index, 
 		CacheFraction: 0.4,
 		Speculation:   true,
 		Backend:       be,
-		FaultInjector: faults,
+		Chaos:         sched,
 		Recorder:      rec,
 	})
 	if err != nil {
@@ -99,14 +100,14 @@ func TestPoolBackendMatchesSequential(t *testing.T) {
 }
 
 // TestPoolBackendMatchesSequentialUnderFaults repeats the equivalence check
-// with deterministic fault injection, so retries replay pool-computed
-// results on the retry node exactly as the sequential engine would.
+// with a probabilistic chaos schedule: fault decisions are hashed from the
+// task coordinates, so both backends see the same failures and retries
+// replay pool-computed results on the retry node exactly as the sequential
+// engine would.
 func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
-	faults := func(jobID, phase, index, attempt int) bool {
-		return attempt == 0 && (jobID+phase+index)%3 == 0
-	}
-	seqOuts, seqM := runGNMF(t, compute.NewSequential(), faults, nil)
-	poolOuts, poolM := runGNMF(t, compute.NewPool(8), faults, nil)
+	sched := &chaos.Schedule{Seed: 5, TaskFaultProb: 0.12, ReadFaultProb: 0.04}
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), sched, nil)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), sched, nil)
 
 	if !reflect.DeepEqual(seqM, poolM) {
 		t.Fatalf("RunMetrics diverge under faults:\nseq:  %+v\npool: %+v", seqM, poolM)
@@ -117,14 +118,8 @@ func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
 				name, sd.MaxAbsDiff(poolOuts[name]))
 		}
 	}
-	retried := false
-	for _, tr := range seqM.Tasks {
-		if tr.Retries > 0 {
-			retried = true
-		}
-	}
-	if !retried {
-		t.Fatal("fault injector produced no retries; test exercises nothing")
+	if seqM.TotalRetries == 0 {
+		t.Fatal("chaos schedule produced no retries; test exercises nothing")
 	}
 }
 
@@ -135,13 +130,11 @@ func TestPoolBackendMatchesSequentialUnderFaults(t *testing.T) {
 // parallelism must leave no fingerprint (not even in the per-task kernel
 // events, which workers accumulate privately).
 func TestBackendTraceExportsIdentical(t *testing.T) {
-	faults := func(jobID, phase, index, attempt int) bool {
-		return attempt == 0 && (jobID+phase+index)%3 == 0
-	}
+	sched := &chaos.Schedule{Seed: 5, TaskFaultProb: 0.12, ReadFaultProb: 0.04}
 	seqTr := obs.NewTrace()
 	poolTr := obs.NewTrace()
-	runGNMF(t, compute.NewSequential(), faults, seqTr)
-	runGNMF(t, compute.NewPool(8), faults, poolTr)
+	runGNMF(t, compute.NewSequential(), sched, seqTr)
+	runGNMF(t, compute.NewPool(8), sched, poolTr)
 
 	var seqOut, poolOut bytes.Buffer
 	if err := seqTr.WriteChrome(&seqOut); err != nil {

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cumulon/internal/chaos"
+	"cumulon/internal/compute"
+	"cumulon/internal/obs"
+)
+
+// gnmfChaosSchedule builds the canonical recovery scenario for the GNMF
+// iteration: a node crash mid-program (timed off the fault-free makespan)
+// plus probabilistic task and read faults.
+func gnmfChaosSchedule(t *testing.T) *chaos.Schedule {
+	t.Helper()
+	_, base := runGNMF(t, compute.NewSequential(), nil, nil)
+	if base.TotalSeconds <= 0 {
+		t.Fatal("fault-free run has no makespan")
+	}
+	return &chaos.Schedule{
+		Seed:          11,
+		Crashes:       []chaos.NodeCrash{{Node: 3, At: 0.4 * base.TotalSeconds}},
+		TaskFaultProb: 0.08,
+		ReadFaultProb: 0.03,
+	}
+}
+
+// TestChaosRunBitIdenticalToFaultFreeOracle is the headline recovery
+// guarantee: a GNMF run that loses a node mid-program and suffers
+// transient task/read faults must still produce outputs bitwise identical
+// to the fault-free run — recovery changes the timeline, never the data.
+func TestChaosRunBitIdenticalToFaultFreeOracle(t *testing.T) {
+	sched := gnmfChaosSchedule(t)
+	cleanOuts, cleanM := runGNMF(t, compute.NewSequential(), nil, nil)
+	chaosOuts, chaosM := runGNMF(t, compute.NewSequential(), sched, nil)
+
+	for name, want := range cleanOuts {
+		got := chaosOuts[name]
+		if got == nil {
+			t.Fatalf("chaos run missing output %s", name)
+		}
+		if !reflect.DeepEqual(want.Data, got.Data) {
+			t.Fatalf("output %s not bit-identical under chaos (maxdiff %g)",
+				name, want.MaxAbsDiff(got))
+		}
+	}
+	if chaosM.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", chaosM.NodeCrashes)
+	}
+	if chaosM.RereplicatedBytes == 0 {
+		t.Fatal("crash re-replicated no bytes; scenario exercises nothing")
+	}
+	if chaosM.TotalRetries == 0 || chaosM.RecoverySeconds <= 0 {
+		t.Fatalf("no retries recorded (retries=%d recovery=%.2fs); scenario exercises nothing",
+			chaosM.TotalRetries, chaosM.RecoverySeconds)
+	}
+	if chaosM.TotalSeconds <= cleanM.TotalSeconds {
+		t.Fatalf("chaos run (%.2fs) not slower than fault-free (%.2fs)",
+			chaosM.TotalSeconds, cleanM.TotalSeconds)
+	}
+	for _, tr := range chaosM.Tasks {
+		if tr.Node == 3 && tr.StartSec >= sched.Crashes[0].At {
+			t.Fatalf("task scheduled on crashed node 3 at %.2fs (crash at %.2fs)",
+				tr.StartSec, sched.Crashes[0].At)
+		}
+	}
+}
+
+// TestChaosRecoveryDeterministicAcrossBackends: the same seed and the same
+// fault schedule must yield byte-identical TaskRecords, RunMetrics and
+// trace exports on the sequential and worker-pool backends — crashes,
+// retries and re-replication included. Runs under -race in CI.
+func TestChaosRecoveryDeterministicAcrossBackends(t *testing.T) {
+	sched := gnmfChaosSchedule(t)
+	seqTr, poolTr := obs.NewTrace(), obs.NewTrace()
+	seqOuts, seqM := runGNMF(t, compute.NewSequential(), sched, seqTr)
+	poolOuts, poolM := runGNMF(t, compute.NewPool(8), sched, poolTr)
+
+	if !reflect.DeepEqual(seqM.Tasks, poolM.Tasks) {
+		t.Fatal("TaskRecords diverge between backends under chaos")
+	}
+	if !reflect.DeepEqual(seqM, poolM) {
+		t.Fatalf("RunMetrics diverge between backends under chaos:\nseq:  %+v\npool: %+v", seqM, poolM)
+	}
+	for name, sd := range seqOuts {
+		if !reflect.DeepEqual(sd.Data, poolOuts[name].Data) {
+			t.Fatalf("output %s diverges between backends under chaos", name)
+		}
+	}
+	var seqOut, poolOut bytes.Buffer
+	if err := seqTr.WriteChrome(&seqOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := poolTr.WriteChrome(&poolOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqOut.Bytes(), poolOut.Bytes()) {
+		t.Fatalf("trace exports diverge under chaos: seq %d bytes, pool %d bytes",
+			seqOut.Len(), poolOut.Len())
+	}
+	if seqM.NodeCrashes != 1 || seqM.TotalRetries == 0 {
+		t.Fatalf("scenario exercises nothing: crashes=%d retries=%d",
+			seqM.NodeCrashes, seqM.TotalRetries)
+	}
+}
+
+// TestChaosCrashRecordedInTrace: the delivered crash surfaces as a phase
+// event and retried tasks carry recovery attribution in their spans.
+func TestChaosCrashRecordedInTrace(t *testing.T) {
+	sched := gnmfChaosSchedule(t)
+	tr := obs.NewTrace()
+	runGNMF(t, compute.NewSequential(), sched, tr)
+	crashEvents, retryEvents := 0, 0
+	for _, ev := range tr.Events() {
+		if len(ev.Name) >= 5 && ev.Name[:5] == "crash" {
+			crashEvents++
+		}
+		if len(ev.Name) >= 7 && ev.Name[:7] == "retried" {
+			retryEvents++
+		}
+	}
+	if crashEvents != 1 {
+		t.Fatalf("crash events in trace = %d, want 1", crashEvents)
+	}
+	if retryEvents == 0 {
+		t.Fatal("no retry events in trace")
+	}
+	recovery := 0.0
+	for _, s := range tr.SpansOf(obs.KindTask) {
+		recovery += s.Attrs.Breakdown[obs.CatRecovery]
+	}
+	if recovery <= 0 {
+		t.Fatal("task spans attribute no recovery time")
+	}
+}

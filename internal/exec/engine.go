@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/compute"
 	"cumulon/internal/dfs"
@@ -43,10 +44,21 @@ type Config struct {
 	// round trips). nil selects the Hadoop-era default of 6 s; point at 0
 	// (exec.Float(0)) for a zero-overhead job launcher.
 	JobStartupSec *float64
-	// FaultInjector, if set, makes a task attempt fail before doing any
-	// work when it returns true; the scheduler retries it once on another
-	// node. Used to exercise the retry machinery deterministically.
-	FaultInjector func(jobID, phase, index, attempt int) bool
+	// Chaos injects a deterministic fault schedule into the run: node
+	// crashes at virtual times, per-attempt task fault probabilities,
+	// targeted faults and transient read errors (see package chaos). nil
+	// runs fault-free. Fault decisions are hash-based, so the same
+	// schedule produces the same failures on any compute backend.
+	Chaos *chaos.Schedule
+	// MaxTaskRetries bounds how many times a failed task is retried on
+	// another node before the job fails terminally. 0 selects the Hadoop
+	// default of 3; negative disables retries entirely.
+	MaxTaskRetries int
+	// RetryBackoffSec is the base of the exponential backoff charged
+	// before retry r (base * 2^(r-1) virtual seconds, on top of the failed
+	// attempt's startup cost). nil selects 2 s; exec.Float(0) retries
+	// immediately.
+	RetryBackoffSec *float64
 	// RackSize groups datanodes into racks (see dfs.Config.RackSize);
 	// zero means a single rack.
 	RackSize int
@@ -102,6 +114,15 @@ func (c Config) withDefaults() Config {
 	if c.JobStartupSec == nil {
 		c.JobStartupSec = Float(6)
 	}
+	if c.MaxTaskRetries == 0 {
+		c.MaxTaskRetries = 3
+	}
+	if c.MaxTaskRetries < 0 {
+		c.MaxTaskRetries = 0
+	}
+	if c.RetryBackoffSec == nil {
+		c.RetryBackoffSec = Float(2)
+	}
 	if c.CrossRackPenalty == nil {
 		if c.RackSize > 0 {
 			c.CrossRackPenalty = Float(2)
@@ -123,6 +144,9 @@ type Engine struct {
 	// explicit zero survives withDefaults).
 	jobStartupSec    float64
 	crossRackPenalty float64
+	maxTaskRetries   int
+	retryBackoffSec  float64
+	chaos            *chaos.Injector
 	// backend computes the tile math; env is the environment its tasks
 	// capture. The engine itself only replays traces.
 	backend compute.Backend
@@ -154,6 +178,9 @@ func New(cfg Config) (*Engine, error) {
 			backend = compute.NewSequential()
 		}
 	}
+	if err := cfg.Chaos.Validate(); err != nil {
+		return nil, err
+	}
 	rec := obs.OrNop(cfg.Recorder)
 	return &Engine{
 		cfg:              cfg,
@@ -162,6 +189,9 @@ func New(cfg Config) (*Engine, error) {
 		rng:              rand.New(rand.NewSource(cfg.Seed)),
 		jobStartupSec:    *cfg.JobStartupSec,
 		crossRackPenalty: *cfg.CrossRackPenalty,
+		maxTaskRetries:   cfg.MaxTaskRetries,
+		retryBackoffSec:  *cfg.RetryBackoffSec,
+		chaos:            chaos.NewInjector(cfg.Chaos),
 		backend:          backend,
 		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize, TileOps: rec.Enabled()},
 		rec:              rec,
@@ -313,6 +343,7 @@ func (e *Engine) runJob(j *plan.Job, start float64, slots []*slotState, m *RunMe
 type slotState struct {
 	node   int
 	freeAt float64
+	dead   bool // node crashed mid-run; the slot accepts no further tasks
 }
 
 // schedulePhase runs one barrier-separated set of tasks with the greedy
@@ -349,11 +380,23 @@ func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float6
 			}
 			return s.freeAt
 		}
-		best := 0
+		best := -1
 		for i, s := range slots {
-			if avail(s) < avail(slots[best]) {
+			if s.dead {
+				continue
+			}
+			if best < 0 || avail(s) < avail(slots[best]) {
 				best = i
 			}
+		}
+		if best < 0 {
+			return 0, fmt.Errorf("phase %d: every task slot lost to node failures", phase)
+		}
+		// Deliver any scheduled node crash due by the time this slot would
+		// start, then re-pick: the crash may have taken the chosen slot.
+		if c, ok := e.chaos.NextCrash(avail(slots[best])); ok {
+			e.fireCrash(c, slots, m, pspan, notBefore)
+			continue
 		}
 		slot := slots[best]
 		if slot.freeAt < notBefore {
@@ -408,17 +451,22 @@ func (e *Engine) schedulePhase(jobID, phase int, tasks []*task, notBefore float6
 
 // recordTaskSpan emits the span of one finished task: its placement and
 // byte attributes, a per-category breakdown normalized to sum exactly to
-// the task's (noisy, possibly speculation-shortened) duration, and one
-// event per kernel kind the compute layer aggregated.
+// the span duration, and one event per kernel kind the compute layer
+// aggregated. The span covers the whole attempt chain — it opens when the
+// first (possibly failed) attempt started, and the time lost to failed
+// attempts is attributed to the recovery category, so retries surface on
+// the critical path as recovery rather than inflating compute.
 func (e *Engine) recordTaskSpan(pspan obs.SpanID, rec TaskRecord, res *compute.Result, notBefore float64) {
-	id := e.rec.Start(obs.KindTask, fmt.Sprintf("j%d/p%d/t%d", rec.JobID, rec.Phase, rec.Index), pspan, rec.StartSec)
+	firstStart := rec.StartSec - rec.RecoverySec
+	id := e.rec.Start(obs.KindTask, fmt.Sprintf("j%d/p%d/t%d", rec.JobID, rec.Phase, rec.Index), pspan, firstStart)
 	b := e.taskBreakdown(rec)
 	if t := b.Total(); t > 0 {
 		b = b.Scale(rec.Seconds / t)
 	} else if rec.Seconds > 0 {
 		b[obs.CatCompute] = rec.Seconds
 	}
-	queue := rec.StartSec - notBefore
+	b[obs.CatRecovery] = rec.RecoverySec
+	queue := firstStart - notBefore
 	if queue < 0 {
 		queue = 0
 	}
@@ -428,11 +476,15 @@ func (e *Engine) recordTaskSpan(pspan obs.SpanID, rec TaskRecord, res *compute.R
 		Flops:          rec.Flops,
 		LocalReadBytes: rec.LocalReadBytes, RackReadBytes: rec.RackReadBytes,
 		RemoteReadBytes: rec.RemoteReadBytes, CacheReadBytes: rec.CacheReadBytes,
-		WriteBytes: rec.WriteBytes,
-		Retries:    rec.Retries,
-		QueueSec:   queue,
-		Breakdown:  b,
+		WriteBytes:  rec.WriteBytes,
+		Retries:     rec.Retries,
+		QueueSec:    queue,
+		RecoverySec: rec.RecoverySec,
+		Breakdown:   b,
 	})
+	if rec.Retries > 0 {
+		e.rec.Event(id, fmt.Sprintf("retried x%d (+%.2fs recovery)", rec.Retries, rec.RecoverySec), firstStart)
+	}
 	if res != nil {
 		for _, k := range res.Kernels {
 			e.rec.Event(id, fmt.Sprintf("%s x%d (%d flops)", k.Kind, k.Count, k.Flops), rec.StartSec)
@@ -486,6 +538,9 @@ type specPlacement struct {
 // straggler is detectable (at the median finish time); the earlier
 // finisher wins and the loser is killed. Returns the new phase end.
 func (e *Engine) speculate(placements []specPlacement, slots []*slotState, m *RunMetrics, end float64) float64 {
+	if len(placements) == 0 {
+		return end
+	}
 	finishes := make([]float64, len(placements))
 	for i, p := range placements {
 		rec := &m.Tasks[p.taskIdx]
@@ -499,10 +554,10 @@ func (e *Engine) speculate(placements []specPlacement, slots []*slotState, m *Ru
 		if finish <= threshold {
 			continue
 		}
-		// Earliest-free slot on a different node.
+		// Earliest-free slot on a different live node.
 		var backup *slotState
 		for _, s := range slots {
-			if s == p.slot || s.node == rec.Node {
+			if s.dead || s == p.slot || s.node == rec.Node {
 				continue
 			}
 			if backup == nil || s.freeAt < backup.freeAt {
@@ -544,6 +599,9 @@ func (e *Engine) speculate(placements []specPlacement, slots []*slotState, m *Ru
 }
 
 func medianOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
 	s := append([]float64(nil), v...)
 	for i := 1; i < len(s); i++ {
 		for k := i; k > 0 && s[k] < s[k-1]; k-- {
@@ -553,39 +611,54 @@ func medianOf(v []float64) float64 {
 	return s[len(s)/2]
 }
 
-// executeWithRetry runs a task on a slot, retrying once on a different
-// node if the attempt fails (the Hadoop task-retry path). The failed
-// attempt still costs its startup time on the original slot. It returns
-// the record plus the task's noise-free base duration (for speculation).
-// The compute result is node-independent, so a retry replays the same
-// trace on the new node.
+// executeWithRetry runs a task on a slot, retrying a failed attempt on a
+// different node (the Hadoop task-retry path) until the retry budget is
+// exhausted, at which point the job fails terminally. Each failed attempt
+// charges its startup cost plus an exponentially growing backoff on the
+// original slot; the accumulated loss is reported as the record's
+// RecoverySec. The compute result is node-independent, so a retry replays
+// the same trace on the new node.
 func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, slotIdx int, m *RunMetrics, fetch func(int) (*compute.Result, error)) (TaskRecord, float64, *compute.Result, error) {
 	attempt := 0
 	node := slot.node
 	startAt := slot.freeAt
 	retries := 0
+	recovery := 0.0
+	fail := func(err error) (TaskRecord, float64, *compute.Result, error) {
+		return TaskRecord{}, 0, nil, fmt.Errorf("task %d/%d/%d failed after %d attempts: %w", jobID, phase, t.index, attempt+1, err)
+	}
 	for {
-		injected := e.cfg.FaultInjector != nil && e.cfg.FaultInjector(jobID, phase, t.index, attempt)
 		var w work
 		var res *compute.Result
 		var err error
-		if injected {
-			err = fmt.Errorf("injected fault")
+		if e.chaos.TaskFault(jobID, phase, t.index, attempt) {
+			err = fmt.Errorf("chaos: injected task fault")
 		} else {
 			res, err = fetch(t.index)
 			if err == nil {
-				w, err = e.applyResult(res, node)
+				if p := firstReadPath(res); e.chaos.ReadFault(p, jobID, phase, t.index, attempt) {
+					err = fmt.Errorf("chaos: transient read error on %s", p)
+				} else {
+					w, err = e.applyResult(res, node)
+				}
 			}
 		}
 		if err != nil {
-			if attempt >= 1 {
-				return TaskRecord{}, 0, nil, fmt.Errorf("task %d/%d/%d failed after retry: %w", jobID, phase, t.index, err)
+			if retries >= e.maxTaskRetries {
+				return fail(err)
 			}
-			// Charge the failed attempt's startup, then move to another node.
-			startAt += e.cfg.Cluster.Type.StartupSec
+			// Charge the failed attempt's startup plus backoff, then move
+			// to another node.
+			penalty := e.cfg.Cluster.Type.StartupSec + e.retryBackoffSec*float64(uint(1)<<uint(retries))
+			startAt += penalty
+			recovery += penalty
 			retries++
 			attempt++
-			node = e.pickOtherNode(node)
+			next, perr := e.pickOtherNode(node)
+			if perr != nil {
+				return fail(perr)
+			}
+			node = next
 			continue
 		}
 		base := e.baseTaskSeconds(w)
@@ -598,20 +671,61 @@ func (e *Engine) executeWithRetry(jobID, phase int, t *task, slot *slotState, sl
 			CacheReadBytes: w.cacheBytes,
 			WriteBytes:     w.writeBytes,
 			StartSec:       startAt, Seconds: dur,
-			Retries: retries,
+			Retries: retries, RecoverySec: recovery,
 		}
 		m.addTask(rec)
 		return rec, base, res, nil
 	}
 }
 
-func (e *Engine) pickOtherNode(not int) int {
-	for n := 0; n < e.cfg.Cluster.Nodes; n++ {
-		if n != not && e.fs.NodeAlive(n) {
-			return n
+// firstReadPath returns the path of the task's first traced read, the
+// input a transient read fault is pinned to.
+func firstReadPath(res *compute.Result) string {
+	for _, op := range res.Ops {
+		if !op.Write {
+			return op.Path
 		}
 	}
-	return not
+	return ""
+}
+
+// pickOtherNode returns a live node other than not, scanning in rotation
+// order from not so repeated failures walk the cluster instead of piling
+// onto node 0. When no other live node exists it returns an error so the
+// retry path terminates instead of re-running on the same possibly-dead
+// node.
+func (e *Engine) pickOtherNode(not int) (int, error) {
+	n := e.cfg.Cluster.Nodes
+	for i := 1; i <= n; i++ {
+		c := (not + i) % n
+		if c != not && e.fs.NodeAlive(c) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("no other live node to retry on (cluster of %d)", n)
+}
+
+// fireCrash delivers one scheduled node crash: the DFS node dies and
+// re-replicates, the node's slots are retired, and the recovery work is
+// counted and recorded as a phase event.
+func (e *Engine) fireCrash(c chaos.NodeCrash, slots []*slotState, m *RunMetrics, pspan obs.SpanID, notBefore float64) {
+	rep := e.fs.KillNode(c.Node)
+	for _, s := range slots {
+		if s.node == c.Node {
+			s.dead = true
+		}
+	}
+	m.NodeCrashes++
+	m.RereplicatedBytes += rep.BytesMoved
+	m.BlocksLost += rep.BlocksLost
+	if e.rec.Enabled() {
+		at := c.At
+		if at < notBefore {
+			at = notBefore
+		}
+		e.rec.Event(pspan, fmt.Sprintf("crash node %d: recovered %d blocks (%d bytes moved, %d replicas added, %d blocks lost)",
+			c.Node, rep.BlocksRecovered, rep.BytesMoved, rep.ReplicasAdded, rep.BlocksLost), at)
+	}
 }
 
 // baseTaskSeconds converts a task's work profile into noise-free virtual

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
@@ -320,9 +321,9 @@ func TestEngineRetryOnInjectedFault(t *testing.T) {
 		Cluster:     testCluster(t, 3, 2),
 		Materialize: true,
 		Seed:        1,
-		FaultInjector: func(jobID, phase, index, attempt int) bool {
-			return jobID == 0 && phase == 0 && index == 0 && attempt == 0
-		},
+		Chaos: &chaos.Schedule{Targets: []chaos.TargetFault{
+			{Job: 0, Phase: 0, Index: 0, Attempts: 1},
+		}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -345,16 +346,27 @@ output B
 	if !retried {
 		t.Fatal("no retry recorded")
 	}
+	recovered := false
+	for _, tr := range m.Tasks {
+		if tr.Retries > 0 && tr.RecoverySec > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("retried task charged no recovery time")
+	}
 }
 
 func TestEnginePersistentFaultFailsJob(t *testing.T) {
+	// Index 0 fails on every attempt: the retry budget must run out and
+	// fail the job terminally instead of retrying forever.
 	e, err := New(Config{
 		Cluster:     testCluster(t, 3, 2),
 		Materialize: true,
 		Seed:        1,
-		FaultInjector: func(jobID, phase, index, attempt int) bool {
-			return index == 0 // fails every attempt
-		},
+		Chaos: &chaos.Schedule{Targets: []chaos.TargetFault{
+			{Job: -1, Phase: -1, Index: 0, Attempts: 1 << 30},
+		}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -369,6 +381,116 @@ func TestEnginePersistentFaultFailsJob(t *testing.T) {
 	}
 	if _, err := e.Run(pl); err == nil {
 		t.Fatal("want failure after exhausted retries")
+	}
+}
+
+func TestEngineRetryBudgetConfigurable(t *testing.T) {
+	// A task that fails exactly 5 times succeeds with a budget of 5 and
+	// fails terminally with the default budget of 3.
+	run := func(budget int) error {
+		e, err := New(Config{
+			Cluster:        testCluster(t, 3, 2),
+			Materialize:    true,
+			Seed:           1,
+			MaxTaskRetries: budget,
+			Chaos: &chaos.Schedule{Targets: []chaos.TargetFault{
+				{Job: 0, Phase: 0, Index: 0, Attempts: 5},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _ := lang.Parse("input A 8 8\nB = A .* A\noutput B")
+		pl, err := plan.Compile(prog, plan.Config{TileSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.LoadDense(pl.Inputs[0], linalg.RandomDense(8, 8, 1)); err != nil {
+			t.Fatal(err)
+		}
+		_, err = e.Run(pl)
+		return err
+	}
+	if err := run(5); err != nil {
+		t.Fatalf("budget 5 should absorb 5 faults: %v", err)
+	}
+	if err := run(0); err == nil {
+		t.Fatal("default budget (3) should fail on 5 faults")
+	}
+	if err := run(-1); err == nil {
+		t.Fatal("negative budget disables retries; even one fault must be terminal")
+	}
+}
+
+func TestEngineRetryBackoffCharged(t *testing.T) {
+	// One fault with backoff base 10 vs base 0: the delta in the retried
+	// task's recovery time must be exactly the backoff (startup is charged
+	// in both runs).
+	run := func(backoff float64) *RunMetrics {
+		e, err := New(Config{
+			Cluster:         testCluster(t, 3, 2),
+			Materialize:     true,
+			Seed:            1,
+			RetryBackoffSec: Float(backoff),
+			Chaos: &chaos.Schedule{Targets: []chaos.TargetFault{
+				{Job: 0, Phase: 0, Index: 0, Attempts: 2},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, m, _ := runProgram(t, e, "input A 8 8\nB = A .* A\noutput B",
+			plan.Config{}, map[string]*linalg.Dense{"A": linalg.RandomDense(8, 8, 1)}, 6)
+		return m
+	}
+	slow, fast := run(10), run(0)
+	var slowRec, fastRec float64
+	for _, tr := range slow.Tasks {
+		slowRec += tr.RecoverySec
+	}
+	for _, tr := range fast.Tasks {
+		fastRec += tr.RecoverySec
+	}
+	// Two failed attempts: backoff 10*2^0 + 10*2^1 = 30 extra seconds.
+	if diff := slowRec - fastRec; diff < 30-1e-9 || diff > 30+1e-9 {
+		t.Fatalf("backoff delta = %.3fs, want 30s (exponential 10+20)", diff)
+	}
+	if slow.TotalRetries != 2 || fast.TotalRetries != 2 {
+		t.Fatalf("retries: slow %d fast %d, want 2", slow.TotalRetries, fast.TotalRetries)
+	}
+}
+
+func TestEngineAllNodesDeadSurfacesError(t *testing.T) {
+	// With every other node dead, a faulting task has nowhere to retry:
+	// pickOtherNode must surface a scheduling error, not loop on the same
+	// node.
+	e, err := New(Config{
+		Cluster:     testCluster(t, 3, 2),
+		Materialize: true,
+		Seed:        1,
+		Chaos: &chaos.Schedule{Targets: []chaos.TargetFault{
+			{Job: 0, Phase: 0, Index: 0, Attempts: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := lang.Parse("input A 8 8\nB = A .* A\noutput B")
+	pl, err := plan.Compile(prog, plan.Config{TileSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadDense(pl.Inputs[0], linalg.RandomDense(8, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e.FS().KillNode(1)
+	e.FS().KillNode(2)
+	_, err = e.Run(pl)
+	if err == nil {
+		t.Fatal("want scheduling error when no other live node exists")
+	}
+	if !strings.Contains(err.Error(), "no other live node") {
+		t.Fatalf("error should name the retry dead end, got: %v", err)
 	}
 }
 

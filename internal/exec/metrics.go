@@ -20,9 +20,12 @@ type TaskRecord struct {
 	RemoteReadBytes     int64 // cross-rack reads
 	CacheReadBytes      int64 // reads served from the node memory cache
 	WriteBytes          int64
-	StartSec            float64
+	StartSec            float64 // start of the successful attempt
 	Seconds             float64
 	Retries             int
+	// RecoverySec is virtual time lost to failed attempts before StartSec:
+	// their startup costs plus exponential retry backoff.
+	RecoverySec float64
 }
 
 // JobRecord captures one executed job.
@@ -52,6 +55,19 @@ type RunMetrics struct {
 	SpeculativeTasks int
 	// TotalCacheBytes counts reads served from node memory caches.
 	TotalCacheBytes int64
+	// TotalRetries counts failed task attempts across the run.
+	TotalRetries int
+	// RecoverySeconds sums the virtual time tasks lost to failed attempts
+	// and retry backoff.
+	RecoverySeconds float64
+	// NodeCrashes counts datanode crashes delivered by the fault schedule.
+	NodeCrashes int
+	// RereplicatedBytes counts bytes the DFS copied to restore replication
+	// after crashes.
+	RereplicatedBytes int64
+	// BlocksLost counts blocks whose every replica died (they stay
+	// unavailable; tasks reading them fail).
+	BlocksLost int
 }
 
 // TimelineCSV writes one row per task — placement, timing, flops, the
@@ -60,7 +76,7 @@ type RunMetrics struct {
 func (m *RunMetrics) TimelineCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops",
-		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries"}
+		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries", "recovery_s"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -77,6 +93,7 @@ func (m *RunMetrics) TimelineCSV(w io.Writer) error {
 			strconv.FormatInt(t.CacheReadBytes, 10),
 			strconv.FormatInt(t.WriteBytes, 10),
 			strconv.Itoa(t.Retries),
+			strconv.FormatFloat(t.RecoverySec, 'f', 3, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -110,4 +127,6 @@ func (m *RunMetrics) addTask(t TaskRecord) {
 	m.TotalReadBytes += t.LocalReadBytes + t.RackReadBytes + t.RemoteReadBytes
 	m.TotalWriteBytes += t.WriteBytes
 	m.TotalCacheBytes += t.CacheReadBytes
+	m.TotalRetries += t.Retries
+	m.RecoverySeconds += t.RecoverySec
 }

@@ -22,7 +22,7 @@ func TestTimelineCSVEmptyRun(t *testing.T) {
 		t.Fatalf("empty run emitted %d CSV records, want header only", len(recs))
 	}
 	header := []string{"job", "phase", "task", "node", "slot", "start_s", "end_s", "flops",
-		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries"}
+		"local_bytes", "rack_bytes", "remote_bytes", "cache_bytes", "write_bytes", "retries", "recovery_s"}
 	if len(recs[0]) != len(header) {
 		t.Fatalf("header has %d columns, want %d", len(recs[0]), len(header))
 	}
@@ -41,7 +41,7 @@ func TestTimelineCSVRowContent(t *testing.T) {
 		JobID: 2, Phase: 1, Index: 5, Node: 3, Slot: 7,
 		Flops: 1234, StartSec: 1.5, Seconds: 2.25,
 		LocalReadBytes: 11, RackReadBytes: 22, RemoteReadBytes: 33,
-		CacheReadBytes: 44, WriteBytes: 55, Retries: 1,
+		CacheReadBytes: 44, WriteBytes: 55, Retries: 1, RecoverySec: 0.5,
 	})
 	var sb strings.Builder
 	if err := m.TimelineCSV(&sb); err != nil {
@@ -55,7 +55,7 @@ func TestTimelineCSVRowContent(t *testing.T) {
 		t.Fatalf("got %d CSV records, want header + 1 row", len(recs))
 	}
 	want := []string{"2", "1", "5", "3", "7", "1.500", "3.750", "1234",
-		"11", "22", "33", "44", "55", "1"}
+		"11", "22", "33", "44", "55", "1", "0.500"}
 	for i, w := range want {
 		if recs[1][i] != w {
 			t.Fatalf("row column %d = %q, want %q", i, recs[1][i], w)
@@ -93,11 +93,14 @@ func TestUtilizationEdgeCases(t *testing.T) {
 // the per-task records.
 func TestAddTaskAggregates(t *testing.T) {
 	var m RunMetrics
-	m.addTask(TaskRecord{Flops: 10, LocalReadBytes: 1, RackReadBytes: 2, RemoteReadBytes: 4, CacheReadBytes: 8, WriteBytes: 16})
-	m.addTask(TaskRecord{Flops: 5, LocalReadBytes: 100, WriteBytes: 200})
+	m.addTask(TaskRecord{Flops: 10, LocalReadBytes: 1, RackReadBytes: 2, RemoteReadBytes: 4, CacheReadBytes: 8, WriteBytes: 16, Retries: 2, RecoverySec: 1.5})
+	m.addTask(TaskRecord{Flops: 5, LocalReadBytes: 100, WriteBytes: 200, Retries: 1, RecoverySec: 0.5})
 	if m.TotalFlops != 15 || m.TotalReadBytes != 107 || m.TotalWriteBytes != 216 || m.TotalCacheBytes != 8 {
 		t.Fatalf("aggregates flops=%d read=%d write=%d cache=%d",
 			m.TotalFlops, m.TotalReadBytes, m.TotalWriteBytes, m.TotalCacheBytes)
+	}
+	if m.TotalRetries != 3 || m.RecoverySeconds != 2 {
+		t.Fatalf("recovery aggregates retries=%d recovery=%g", m.TotalRetries, m.RecoverySeconds)
 	}
 	if len(m.Tasks) != 2 {
 		t.Fatalf("len(Tasks) = %d", len(m.Tasks))

@@ -191,19 +191,30 @@ func firstLeafPath(expr lang.Expr, leaves map[string]plan.LeafRef, ti, tj int) s
 func (e *Engine) applyResult(res *compute.Result, node int) (work, error) {
 	w := work{flops: res.Flops}
 	virtual := !e.cfg.Materialize
+	// On failure the attempt's partial writes are deleted, so a retry can
+	// replay the same trace without tripping over its own half-finished
+	// output (DFS writes reject existing paths).
+	var written []string
+	fail := func(err error) (work, error) {
+		for _, p := range written {
+			e.fs.Delete(p)
+		}
+		return w, err
+	}
 	for _, op := range res.Ops {
 		if op.Write {
 			if virtual {
 				w.writeBytes += op.Size
 				if err := e.fs.WriteVirtual(op.Path, op.Size, node); err != nil {
-					return w, err
+					return fail(err)
 				}
 			} else {
 				w.writeBytes += int64(len(op.Data))
 				if err := e.fs.Write(op.Path, op.Data, node); err != nil {
-					return w, err
+					return fail(err)
 				}
 			}
+			written = append(written, op.Path)
 			continue
 		}
 		// Read op. The trace holds at most one per (path, format) per
@@ -222,7 +233,7 @@ func (e *Engine) applyResult(res *compute.Result, node int) (work, error) {
 		}
 		sp, err := e.fs.ReadAccount(op.Path, node)
 		if err != nil {
-			return w, err
+			return fail(err)
 		}
 		w.localBytes += sp.Local
 		w.rackBytes += sp.RackLocal

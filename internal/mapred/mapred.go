@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/compute"
 	"cumulon/internal/lang"
@@ -101,6 +102,13 @@ type Config struct {
 	// Backend overrides the compute backend (tests use it to force a
 	// specific pool width). When set, Workers is ignored.
 	Backend compute.Backend
+	// Chaos injects the same deterministic fault schedule the Cumulon
+	// engine honors: node crashes shrink the live cluster for every job
+	// priced after the crash time, and per-task fault decisions (hashed
+	// from job/phase/task coordinates) cost extra retry waves. The
+	// baseline has no data to lose — intermediates are fully replicated —
+	// so faults only stretch the timeline.
+	Chaos *chaos.Schedule
 	// Recorder receives the run's observability spans. The baseline engine
 	// records coarsely — one program span, one span per MR job with
 	// map/shuffle/reduce phases — enough for the critical-path analyzer
@@ -147,6 +155,9 @@ type JobRecord struct {
 	OutputBytes  int64
 	Flops        int64
 	Seconds      float64
+	// Retries counts task attempts lost to injected faults and re-run in
+	// extra waves at the end of the map/reduce phase.
+	Retries int
 }
 
 // RunMetrics aggregates a baseline program execution.
@@ -157,6 +168,7 @@ type RunMetrics struct {
 	TotalReadBytes    int64
 	TotalWriteBytes   int64
 	TotalFlops        int64
+	TotalRetries      int
 }
 
 // matInfo tracks a (virtual) materialized matrix.
@@ -185,6 +197,7 @@ type Engine struct {
 	rng *rand.Rand
 	be  compute.Backend // runs the materialized arithmetic
 	rec obs.Recorder
+	inj *chaos.Injector
 	// prog is the program span of the Run in progress (emitJob parents
 	// its job spans under it).
 	prog obs.SpanID
@@ -195,6 +208,9 @@ func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Cluster.Nodes <= 0 || cfg.Cluster.Slots <= 0 {
 		return nil, fmt.Errorf("mapred: invalid cluster %+v", cfg.Cluster)
+	}
+	if err := cfg.Chaos.Validate(); err != nil {
+		return nil, fmt.Errorf("mapred: %w", err)
 	}
 	be := cfg.Backend
 	if be == nil {
@@ -208,7 +224,8 @@ func New(cfg Config) (*Engine, error) {
 			be = compute.NewSequential()
 		}
 	}
-	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), be: be, rec: obs.OrNop(cfg.Recorder)}, nil
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), be: be,
+		rec: obs.OrNop(cfg.Recorder), inj: chaos.NewInjector(cfg.Chaos)}, nil
 }
 
 // Run executes the program. densities estimates sparse-input densities by
@@ -386,7 +403,14 @@ func (e *Engine) emitMatMul(label string, li, ri matInfo, m *RunMetrics) (matInf
 func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleBytes, outputBytes, flops int64, hasReduce bool) {
 	c := e.cfg
 	mt := c.Cluster.Type
-	totalSlots := c.Cluster.TotalSlots()
+	jobID := len(m.Jobs)
+	// Node crashes before this job's launch shrink the live cluster: fewer
+	// slots per wave and less aggregate network/disk behind the shuffle.
+	liveNodes := c.Cluster.Nodes - e.inj.CrashedBefore(m.TotalSeconds)
+	if liveNodes < 1 {
+		liveNodes = 1
+	}
+	totalSlots := liveNodes * c.Cluster.Slots
 	splitBytes := int64(c.SplitMB) << 20
 	maps := int(ceilDiv64(inputBytes, splitBytes))
 	if maps < 1 {
@@ -420,12 +444,24 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 		float64(inputBytes+shuffleBytes)/float64(maps)/serdeRate
 	mapPhase := mapWaves * perMap
 
+	// Injected task faults re-run in extra waves at the end of their phase,
+	// Hadoop-style: the job tracker reschedules failed attempts after the
+	// healthy waves drain. The decisions hash off the job/phase/task
+	// coordinates, so reruns are deterministic for a given schedule.
+	retries := 0
+	for i := 0; i < maps; i++ {
+		if e.inj.TaskFault(jobID, 0, i, 0) {
+			retries++
+		}
+	}
+	recSec := math.Ceil(float64(retries)/float64(totalSlots)) * perMap
+
 	// Shuffle: transfer over the cluster network, then the sort/merge disk
 	// passes at the reducers.
 	var shufflePhase float64
 	if shuffleBytes > 0 {
-		netAgg := float64(c.Cluster.Nodes) * mt.NetMBps * 1e6
-		diskAgg := float64(c.Cluster.Nodes) * mt.DiskMBps * 1e6
+		netAgg := float64(liveNodes) * mt.NetMBps * 1e6
+		diskAgg := float64(liveNodes) * mt.DiskMBps * 1e6
 		shufflePhase = float64(shuffleBytes)/netAgg + c.MergeFactor*float64(shuffleBytes)/diskAgg
 	}
 
@@ -437,7 +473,7 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 		writer = reduces
 	}
 	repl := int64(c.Replication)
-	if n := int64(c.Cluster.Nodes); repl > n {
+	if n := int64(liveNodes); repl > n {
 		repl = n
 	}
 	if hasReduce {
@@ -448,6 +484,14 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 			float64(shuffleBytes+outputBytes)/float64(reduces)/serdeRate
 		reduceWaves := math.Ceil(float64(reduces) / float64(totalSlots))
 		reducePhase = reduceWaves * perReduce
+		failedRed := 0
+		for i := 0; i < reduces; i++ {
+			if e.inj.TaskFault(jobID, 1, i, 0) {
+				failedRed++
+			}
+		}
+		retries += failedRed
+		recSec += math.Ceil(float64(failedRed)/float64(totalSlots)) * perReduce
 	} else {
 		// Map-only job writes output from the mappers.
 		perMapWrite := mt.TaskSeconds(c.Cluster.Slots, 0,
@@ -458,20 +502,21 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 		}
 	}
 
-	secs := c.JobStartupSec + mapPhase + shufflePhase + reducePhase
+	secs := c.JobStartupSec + mapPhase + shufflePhase + reducePhase + recSec
 	if c.NoiseFactor > 0 {
 		secs *= 1 + c.NoiseFactor*e.rng.ExpFloat64()
 	}
 	if e.rec.Enabled() {
-		e.recordJobSpans(len(m.Jobs), label, op, m.TotalSeconds, secs,
-			c.JobStartupSec, mapPhase, shufflePhase, reducePhase)
+		e.recordJobSpans(jobID, label, op, m.TotalSeconds, secs,
+			c.JobStartupSec, mapPhase, shufflePhase, reducePhase, recSec)
 	}
 	m.Jobs = append(m.Jobs, JobRecord{
 		Name: label, Op: op,
 		MapTasks: maps, ReduceTasks: reduces,
 		InputBytes: inputBytes, ShuffleBytes: shuffleBytes, OutputBytes: outputBytes,
-		Flops: flops, Seconds: secs,
+		Flops: flops, Seconds: secs, Retries: retries,
 	})
+	m.TotalRetries += retries
 	m.TotalSeconds += secs
 	m.TotalShuffleBytes += shuffleBytes
 	m.TotalReadBytes += inputBytes
@@ -482,13 +527,13 @@ func (e *Engine) emitJob(m *RunMetrics, label, op string, inputBytes, shuffleByt
 // recordJobSpans emits the span tree of one MR job: the job span under
 // the program span, then one phase (with a single coarse task) per
 // nonzero stage, each attributed to one time category — map time to
-// compute, shuffle to remote reads, reduce to writes. The noise-free
-// stage durations are scaled so the phases tile [start, start+secs]
-// exactly, with the job-startup gap left before the first phase (the
-// critical-path analyzer attributes it to startup).
-func (e *Engine) recordJobSpans(jobID int, label, op string, start, secs, startup, mapSec, shufSec, redSec float64) {
+// compute, shuffle to remote reads, reduce to writes, fault reruns to
+// recovery. The noise-free stage durations are scaled so the phases tile
+// [start, start+secs] exactly, with the job-startup gap left before the
+// first phase (the critical-path analyzer attributes it to startup).
+func (e *Engine) recordJobSpans(jobID int, label, op string, start, secs, startup, mapSec, shufSec, redSec, recSec float64) {
 	scale := 1.0
-	if sum := startup + mapSec + shufSec + redSec; sum > 0 {
+	if sum := startup + mapSec + shufSec + redSec + recSec; sum > 0 {
 		scale = secs / sum
 	}
 	j := e.rec.Start(obs.KindJob, label+":"+op, e.prog, start)
@@ -514,6 +559,7 @@ func (e *Engine) recordJobSpans(jobID int, label, op string, start, secs, startu
 	emit("map", mapSec, obs.CatCompute)
 	emit("shuffle", shufSec, obs.CatRemoteRead)
 	emit("reduce", redSec, obs.CatWrite)
+	emit("retry", recSec, obs.CatRecovery)
 	e.rec.End(j, start+secs)
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/lang"
 	"cumulon/internal/linalg"
@@ -219,5 +220,60 @@ func TestDeterministicTiming(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("nondeterministic timing: %v vs %v", a, b)
+	}
+}
+
+// TestChaosStretchesBaselineTimeline: the same chaos schedule the Cumulon
+// engine honors must slow the baseline down — crashes shrink the slot pool
+// for later jobs, injected task faults cost extra retry waves — without
+// touching materialized results (intermediates are fully replicated).
+func TestChaosStretchesBaselineTimeline(t *testing.T) {
+	p := parse(t, `
+input A 10000 10000
+input B 10000 10000
+C = A * B
+D = C .* A
+output D
+`)
+	run := func(sched *chaos.Schedule) *RunMetrics {
+		e, err := New(Config{Cluster: cluster(t, 8, 2), Chaos: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := e.Run(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	clean := run(nil)
+	faulty := run(&chaos.Schedule{Seed: 3, TaskFaultProb: 0.2})
+	if faulty.TotalRetries == 0 {
+		t.Fatal("chaos schedule produced no retries; test exercises nothing")
+	}
+	if faulty.TotalSeconds <= clean.TotalSeconds {
+		t.Fatalf("faulty run %v not slower than clean %v", faulty.TotalSeconds, clean.TotalSeconds)
+	}
+	sum := 0
+	for _, j := range faulty.Jobs {
+		sum += j.Retries
+	}
+	if sum != faulty.TotalRetries {
+		t.Fatalf("per-job retries sum %d != TotalRetries %d", sum, faulty.TotalRetries)
+	}
+
+	// A node lost before the program starts leaves fewer slots for every
+	// job: strictly slower than the full cluster even with no task faults.
+	crashed := run(&chaos.Schedule{Crashes: []chaos.NodeCrash{{Node: 2, At: 0}}})
+	if crashed.TotalRetries != 0 {
+		t.Fatalf("crash-only schedule recorded %d retries", crashed.TotalRetries)
+	}
+	if crashed.TotalSeconds <= clean.TotalSeconds {
+		t.Fatalf("crashed run %v not slower than clean %v", crashed.TotalSeconds, clean.TotalSeconds)
+	}
+
+	// Determinism: same schedule, same timeline.
+	if again := run(&chaos.Schedule{Seed: 3, TaskFaultProb: 0.2}); again.TotalSeconds != faulty.TotalSeconds {
+		t.Fatalf("chaos timing nondeterministic: %v vs %v", again.TotalSeconds, faulty.TotalSeconds)
 	}
 }

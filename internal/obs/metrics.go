@@ -169,6 +169,7 @@ func Snapshot(t *Trace) *Registry {
 	jobs := r.Counter("cumulon_jobs_total", "jobs executed")
 	tasks := r.Counter("cumulon_tasks_total", "tasks executed")
 	retries := r.Counter("cumulon_task_retries_total", "failed task attempts that were retried")
+	recoverySec := r.Counter("cumulon_recovery_seconds_total", "virtual time lost to failed attempts and retry backoff")
 	taskSec := r.Histogram("cumulon_task_seconds", "task durations in virtual seconds", secondsBuckets)
 	queueSec := r.Histogram("cumulon_queue_wait_seconds", "task wait between phase release and start", secondsBuckets)
 	readBytes := r.Counter("cumulon_read_bytes_total", "bytes read by I/O class")
@@ -190,6 +191,7 @@ func Snapshot(t *Trace) *Registry {
 			a := s.Attrs
 			tasks.Add(1)
 			retries.Add(float64(a.Retries))
+			recoverySec.Add(a.RecoverySec)
 			taskSec.Observe(s.Seconds())
 			queueSec.Observe(a.QueueSec)
 			local += a.LocalReadBytes

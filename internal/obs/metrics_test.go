@@ -55,8 +55,8 @@ func TestSnapshotFromTrace(t *testing.T) {
 	t1 := tr.Start(KindTask, "t0", ph, 0)
 	tr.SetAttrs(t1, Attrs{
 		Flops: 1000, LocalReadBytes: 60, RackReadBytes: 20, RemoteReadBytes: 20,
-		CacheReadBytes: 100, WriteBytes: 40, Retries: 2, QueueSec: 1,
-		Breakdown: Breakdown{CatCompute: 3, CatWrite: 1},
+		CacheReadBytes: 100, WriteBytes: 40, Retries: 2, QueueSec: 1, RecoverySec: 1.5,
+		Breakdown: Breakdown{CatCompute: 3, CatWrite: 1, CatRecovery: 1.5},
 	})
 	tr.End(t1, 4)
 	tr.End(ph, 4)
@@ -73,6 +73,8 @@ func TestSnapshotFromTrace(t *testing.T) {
 		"cumulon_jobs_total 1",
 		"cumulon_tasks_total 1",
 		"cumulon_task_retries_total 2",
+		"cumulon_recovery_seconds_total 1.5",
+		`cumulon_task_category_seconds_total{category="recovery"} 1.5`,
 		`cumulon_read_bytes_total{class="local"} 60`,
 		`cumulon_read_bytes_total{class="cache"} 100`,
 		"cumulon_write_bytes_total 40",

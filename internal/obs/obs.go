@@ -82,9 +82,12 @@ const (
 	// CatStartup is fixed overhead: per-task process startup and per-job
 	// launch time.
 	CatStartup
-	// CatQueue is time spent waiting: slot contention, retry backoff and
-	// any scheduling gap the analyzer cannot attribute elsewhere.
+	// CatQueue is time spent waiting: slot contention and any scheduling
+	// gap the analyzer cannot attribute elsewhere.
 	CatQueue
+	// CatRecovery is time lost to failure handling: failed task attempts,
+	// retry backoff and the startup of replacement attempts.
+	CatRecovery
 	// NumCategories sizes Breakdown arrays.
 	NumCategories
 )
@@ -105,6 +108,8 @@ func (c Category) String() string {
 		return "startup"
 	case CatQueue:
 		return "queue"
+	case CatRecovery:
+		return "recovery"
 	}
 	return "?"
 }
@@ -162,8 +167,11 @@ type Attrs struct {
 	// Retries counts failed attempts that preceded the recorded one.
 	Retries int
 	// QueueSec is how long the task waited between its phase's release
-	// and its start (task spans).
+	// and its first attempt (task spans).
 	QueueSec float64
+	// RecoverySec is virtual time the task lost to failed attempts and
+	// retry backoff before its successful attempt began (task spans).
+	RecoverySec float64
 	// Breakdown attributes the span's duration to time categories; for
 	// task spans the engine normalizes it to sum to the span duration.
 	Breakdown Breakdown

@@ -15,8 +15,17 @@ type Distribution struct {
 	Trials int
 }
 
-// Quantile returns the q-th (0..1) quantile of the sampled times.
-func (d Distribution) quantileOf(samples []float64, q float64) float64 {
+// quantileOf returns the q-th (0..1) quantile of sorted samples. q is
+// clamped into [0, 1] and empty input yields 0 rather than panicking.
+func quantileOf(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	i := int(q * float64(len(samples)))
 	if i >= len(samples) {
 		i = len(samples) - 1
@@ -24,13 +33,11 @@ func (d Distribution) quantileOf(samples []float64, q float64) float64 {
 	return samples[i]
 }
 
-// PredictPlanDistribution estimates the completion-time distribution of
-// the plan by Monte Carlo simulation: each trial schedules every task
-// with a duration drawn as model-prediction times an empirical residual
-// (the paper's simulation over measured task-time distributions). The
-// result includes the median and the 95th percentile, so the optimizer
-// can promise deadlines at a confidence level rather than in expectation.
-func (p *Predictor) PredictPlanDistribution(pl *plan.Plan, trials int, seed int64) Distribution {
+// planSamples runs the Monte Carlo trials and returns the sorted
+// completion-time samples: each trial schedules every task with a
+// duration drawn as model-prediction times an empirical residual (the
+// paper's simulation over measured task-time distributions).
+func (p *Predictor) planSamples(pl *plan.Plan, trials int, seed int64) []float64 {
 	if trials <= 0 {
 		trials = 30
 	}
@@ -63,29 +70,29 @@ func (p *Predictor) PredictPlanDistribution(pl *plan.Plan, trials int, seed int6
 		samples[t] = total
 	}
 	sort.Float64s(samples)
+	return samples
+}
+
+// PredictPlanDistribution estimates the completion-time distribution of
+// the plan by Monte Carlo simulation. The result includes the median and
+// the 95th percentile, so the optimizer can promise deadlines at a
+// confidence level rather than in expectation.
+func (p *Predictor) PredictPlanDistribution(pl *plan.Plan, trials int, seed int64) Distribution {
+	samples := p.planSamples(pl, trials, seed)
 	var sum float64
 	for _, s := range samples {
 		sum += s
 	}
-	d := Distribution{Trials: trials, Mean: sum / float64(trials)}
-	d.P50 = d.quantileOf(samples, 0.50)
-	d.P95 = d.quantileOf(samples, 0.95)
+	d := Distribution{Trials: len(samples), Mean: sum / float64(len(samples))}
+	d.P50 = quantileOf(samples, 0.50)
+	d.P95 = quantileOf(samples, 0.95)
 	return d
 }
 
 // PredictPlanQuantile returns the q-th (0..1) quantile of the Monte Carlo
-// completion-time distribution.
+// completion-time distribution, computed directly from the sorted trial
+// samples: tail quantiles beyond 0.95 keep resolving (with enough trials)
+// instead of clamping to P95.
 func (p *Predictor) PredictPlanQuantile(pl *plan.Plan, trials int, seed int64, q float64) float64 {
-	d := p.PredictPlanDistribution(pl, trials, seed)
-	// Re-derive from the recorded points: P50/P95 are the common asks;
-	// other quantiles interpolate between mean-anchored points.
-	switch {
-	case q <= 0.5:
-		return d.P50
-	case q >= 0.95:
-		return d.P95
-	default:
-		frac := (q - 0.5) / 0.45
-		return d.P50 + frac*(d.P95-d.P50)
-	}
+	return quantileOf(p.planSamples(pl, trials, seed), q)
 }

@@ -250,6 +250,43 @@ func TestPredictPlanQuantileMonotone(t *testing.T) {
 	}
 }
 
+// TestPredictPlanQuantileTailResolves: a 0.99-confidence ask must read the
+// actual tail of the Monte Carlo samples, not clamp to P95 — with enough
+// trials the noise residuals produce a right tail strictly above P95.
+func TestPredictPlanQuantileTailResolves(t *testing.T) {
+	tm, mt := calibrated(t, "c1.medium", 2)
+	cluster, _ := cloud.NewCluster(mt, 4, 2)
+	p := New(tm, cluster)
+	pl := compile(t, matmulSrc, 2048)
+	pl.AutoSplit(cluster.TotalSlots())
+
+	const trials, seed = 200, 1
+	d := p.PredictPlanDistribution(pl, trials, seed)
+	q99 := p.PredictPlanQuantile(pl, trials, seed, 0.99)
+	if !(q99 > d.P95) {
+		t.Fatalf("q99=%v does not exceed P95=%v; tail clamped", q99, d.P95)
+	}
+	q100 := p.PredictPlanQuantile(pl, trials, seed, 1)
+	if q99 > q100 {
+		t.Fatalf("q99=%v above the sample maximum %v", q99, q100)
+	}
+}
+
+// TestQuantileOfGuards: degenerate inputs must not panic — empty samples
+// yield 0 and out-of-range q clamps to the extremes.
+func TestQuantileOfGuards(t *testing.T) {
+	if v := quantileOf(nil, 0.5); v != 0 {
+		t.Fatalf("quantileOf(nil) = %v, want 0", v)
+	}
+	s := []float64{1, 2, 3, 4}
+	if v := quantileOf(s, -0.5); v != 1 {
+		t.Fatalf("quantileOf(q<0) = %v, want first sample", v)
+	}
+	if v := quantileOf(s, 2); v != 4 {
+		t.Fatalf("quantileOf(q>1) = %v, want last sample", v)
+	}
+}
+
 func TestPredictPlanOverlapTracksEngine(t *testing.T) {
 	tm, mt := calibrated(t, "m1.large", 2)
 	cluster, _ := cloud.NewCluster(mt, 8, 2)

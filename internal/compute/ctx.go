@@ -284,8 +284,11 @@ func (c *Ctx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj in
 // mulTile computes the (ti, tj) output tile contribution of a Mul job over
 // the inner-dimension tile span ks, evaluating the prologue trees per tile
 // and using the sparse kernel when the left operand is a bare sparse leaf.
-// The returned accumulator comes from scratch; the caller must release it
-// after encoding.
+// Bare dense leaves read through a transposed access path skip the
+// explicit per-k Transpose materialization: the raw tile feeds GemmTA /
+// GemmTB, whose packing absorbs the layout (same reads traced, same flops
+// charged, one less tile copy per k step). The returned accumulator comes
+// from scratch; the caller must release it after encoding.
 func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 	outRows, outCols := j.Out.TileShape(ti, tj)
 	var acc *linalg.Tile
@@ -293,9 +296,18 @@ func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 		acc = c.sc.tile(outRows, outCols)
 	}
 	lRef, lBare := bareSparseLeaf(j.LExpr, j.Leaves)
+	lTRef, lTrans := bareTransposedDenseLeaf(j.LExpr, j.Leaves)
+	rTRef, rTrans := bareTransposedDenseLeaf(j.RExpr, j.Leaves)
 	for k := ks.Lo; k < ks.Hi; k++ {
 		kk := KExtent(j.KSize, j.Out.TileSize, k)
-		rt, _, _, err := c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
+		var rt *linalg.Tile
+		var err error
+		if rTrans && !lBare {
+			// Logical tile (k, tj) of the transposed leaf is raw (tj, k).
+			rt, err = c.readDenseTile(rTRef.Meta, tj, k)
+		} else {
+			rt, _, _, err = c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -305,12 +317,29 @@ func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 			}
 			continue
 		}
-		lt, _, _, err := c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
+		var lt *linalg.Tile
+		if lTrans {
+			lt, err = c.readDenseTile(lTRef.Meta, k, ti)
+		} else {
+			lt, _, _, err = c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
+		}
 		if err != nil {
 			return nil, err
 		}
 		c.addFlops("gemm", linalg.GemmFlops(outRows, kk, outCols))
-		if acc != nil {
+		if acc == nil {
+			continue
+		}
+		switch {
+		case lTrans && rTrans:
+			// Aᵀ·Bᵀ has no fused kernel; transpose the (usually smaller)
+			// left tile once and use the Bᵀ path for the right.
+			linalg.GemmTB(acc, linalg.Transpose(lt), rt)
+		case lTrans:
+			linalg.GemmTA(acc, lt, rt)
+		case rTrans:
+			linalg.GemmTB(acc, lt, rt)
+		default:
 			linalg.Gemm(acc, lt, rt)
 		}
 	}
@@ -395,6 +424,21 @@ func (c *Ctx) mulSparseLeft(acc *linalg.Tile, ref plan.LeafRef, ti, k int, rt *l
 		linalg.SpGemmDense(acc, sp, rt)
 	}
 	return nil
+}
+
+// bareTransposedDenseLeaf reports whether expr is a single dense leaf
+// read through a transposed access path — the shape GemmTA/GemmTB can
+// consume raw, without materializing the transpose.
+func bareTransposedDenseLeaf(e lang.Expr, leaves map[string]plan.LeafRef) (plan.LeafRef, bool) {
+	v, ok := e.(lang.Var)
+	if !ok {
+		return plan.LeafRef{}, false
+	}
+	ref, ok := leaves[v.Name]
+	if !ok || ref.Meta.Sparse || !ref.Transposed {
+		return plan.LeafRef{}, false
+	}
+	return ref, true
 }
 
 // bareSparseLeaf reports whether expr is a single sparse leaf reference.

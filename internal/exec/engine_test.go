@@ -197,6 +197,26 @@ output X
 	}
 }
 
+// TestEngineDoubleTransposedLeaves covers the C = A' * B' compute path,
+// where both multiply operands are bare transposed dense leaves and the
+// task layer feeds the raw tiles straight into the transposed GEMM
+// kernels instead of materializing either transpose.
+func TestEngineDoubleTransposedLeaves(t *testing.T) {
+	e := newTestEngine(t, 3, 2, true)
+	a := linalg.RandomDense(13, 21, 21)
+	b := linalg.RandomDense(9, 13, 22)
+	outs, _, _ := runProgram(t, e, `
+input A 13 21
+input B 9 13
+X = A' * B'
+output X
+`, plan.Config{}, map[string]*linalg.Dense{"A": a, "B": b}, 6)
+	want := a.T().Mul(b.T())
+	if !outs["X"].AlmostEqual(want, 1e-9) {
+		t.Fatalf("double-transposed matmul mismatch, maxdiff %g", outs["X"].MaxAbsDiff(want))
+	}
+}
+
 // The central integration property: on random programs, the distributed
 // engine agrees with the reference interpreter.
 func TestEngineMatchesInterpreterOnRandomPrograms(t *testing.T) {

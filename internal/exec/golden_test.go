@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cumulon/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the golden GNMF trace and metrics files from the current run")
+
+// TestGoldenGNMFTrace pins the engine's observable behavior to committed
+// golden files: the Chrome trace export and the metrics snapshot of the
+// standard GNMF run must match byte-for-byte. Everything in those exports
+// is virtual — timestamps come from the simulated clock (Seed 7), byte
+// counts from tile shapes and flops from GemmFlops — so the comparison is
+// stable across platforms and across kernel rewrites. A diff here means a
+// scheduling, accounting or tracing change, which must be reviewed and
+// re-recorded deliberately with:
+//
+//	go test ./internal/exec -run TestGoldenGNMFTrace -update-golden
+func TestGoldenGNMFTrace(t *testing.T) {
+	tr := obs.NewTrace()
+	runGNMF(t, nil, nil, tr)
+
+	var trace bytes.Buffer
+	if err := tr.WriteChrome(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if err := obs.Snapshot(tr).Write(&metrics); err != nil {
+		t.Fatal(err)
+	}
+
+	goldens := []struct {
+		path string
+		got  []byte
+	}{
+		{filepath.Join("testdata", "golden_gnmf_trace.json"), trace.Bytes()},
+		{filepath.Join("testdata", "golden_gnmf_metrics.txt"), metrics.Bytes()},
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range goldens {
+			if err := os.WriteFile(g.path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", g.path, len(g.got))
+		}
+		return
+	}
+	for _, g := range goldens {
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden to record): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted from golden (%d bytes now vs %d recorded): "+
+				"engine accounting or trace layout changed; if intended, re-record with -update-golden",
+				g.path, len(g.got), len(want))
+		}
+	}
+}

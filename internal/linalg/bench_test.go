@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -14,25 +15,90 @@ func benchTile(n int, seed int64) *Tile {
 	return t
 }
 
-func BenchmarkGemm128(b *testing.B) {
-	a, x := benchTile(128, 1), benchTile(128, 2)
-	c := NewTile(128, 128)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Zero()
-		Gemm(c, a, x)
+// The Gemm/GemmTA/GemmTB benchmarks compare the naive reference loops
+// against the cache-blocked, register-tiled driver at the square sizes
+// recorded in EXPERIMENTS.md. Compare paths with benchstat:
+//
+//	go test -run '^$' -bench 'Gemm.*/(naive|blocked)' -benchtime 10x -count 10 ./internal/linalg | tee bench.txt
+//	benchstat bench.txt   # or diff two checkouts' bench.txt files
+//
+// Both sub-benchmarks call the concrete kernels directly (not the public
+// dispatch), so each path is measured even at sizes the cutoff would
+// route elsewhere.
+
+func benchGemmPair(b *testing.B, n int, naive, blocked func(c, a, x *Tile)) {
+	a, x := benchTile(n, 1), benchTile(n, 2)
+	c := NewTile(n, n)
+	flops := GemmFlops(n, n, n)
+	run := func(b *testing.B, kernel func(c, a, x *Tile)) {
+		kernel(c, a, x) // warm scratch pool and caches
+		b.ReportAllocs()
+		b.SetBytes(flops) // MB/s column reads as MFLOP/s
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			kernel(c, a, x)
+		}
+	}
+	b.Run("naive", func(b *testing.B) { run(b, naive) })
+	b.Run("blocked", func(b *testing.B) { run(b, blocked) })
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmPair(b, n, refGemm, func(c, a, x *Tile) {
+				gemmBlocked(defaultBlockConf, c, a, x, false, false)
+			})
+		})
 	}
 }
 
-func BenchmarkGemmTA128(b *testing.B) {
-	a, x := benchTile(128, 1), benchTile(128, 2)
-	c := NewTile(128, 128)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Zero()
-		GemmTA(c, a, x)
+func BenchmarkGemmTA(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmPair(b, n, refGemmTA, func(c, a, x *Tile) {
+				gemmBlocked(defaultBlockConf, c, a, x, true, false)
+			})
+		})
 	}
+}
+
+// GemmTB is the satellite case: the reference computes a strided row dot
+// per output element, re-streaming a full row of B for every column, so
+// blocking pays off earliest here.
+func BenchmarkGemmTB(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmPair(b, n, refGemmTB, func(c, a, x *Tile) {
+				gemmBlocked(defaultBlockConf, c, a, x, false, true)
+			})
+		})
+	}
+}
+
+func BenchmarkMaskedGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pat := NewTile(256, 256)
+	for i := range pat.Data {
+		if rng.Float64() < 0.05 {
+			pat.Data[i] = 1
+		}
+	}
+	mask := DenseToCSR(pat)
+	l, r := benchTile(256, 6), benchTile(256, 7)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refMaskedGemm(mask, l, r)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			maskedGemmPacked(mask, l, r)
+		}
+	})
 }
 
 func BenchmarkSpGemm128(b *testing.B) {
@@ -50,22 +116,6 @@ func BenchmarkSpGemm128(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Zero()
 		SpGemmDense(c, s, x)
-	}
-}
-
-func BenchmarkMaskedGemm128(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
-	pat := NewTile(128, 128)
-	for i := range pat.Data {
-		if rng.Float64() < 0.05 {
-			pat.Data[i] = 1
-		}
-	}
-	mask := DenseToCSR(pat)
-	l, r := benchTile(128, 6), benchTile(128, 7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MaskedGemm(mask, l, r)
 	}
 }
 

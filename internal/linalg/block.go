@@ -1,0 +1,352 @@
+package linalg
+
+import "sync"
+
+// Cache-blocked GEMM driver.
+//
+// The dense multiply kernels share one BLIS-style blocked driver: operand
+// panels are packed into contiguous scratch buffers and the product is
+// computed by an MR×NR register-tiled micro-kernel. Blocking bounds the
+// working set (a packed A block targets L2, the micro-panel of B streams
+// through L1) and packing makes every inner-loop access unit-stride
+// regardless of the logical layout — including the transposed access paths
+// GemmTA/GemmTB, which differ only in how their panels are gathered.
+//
+// Numerical contract: the micro-kernel loads the C sub-block into its
+// register tile *first* and then accumulates the k terms in ascending
+// order, one kc-block after another. Each element of C therefore sees
+// exactly the sequence c0 + a(i,0)b(0,j) + a(i,1)b(1,j) + ... that the
+// naive ikj reference produces, for any blocking factors, so the blocked
+// kernels agree with refGemm/refGemmTA bit-for-bit on finite data (up to
+// the sign of zero: the reference skips a==0 terms, the blocked kernel
+// adds their +0 products). The differential tests and fuzz targets in
+// blocked_test.go / fuzz_test.go hold the kernels to that contract.
+
+// blockConf carries the cache-blocking factors. Production code uses
+// defaultBlockConf; tests shrink the factors to force multi-block loops
+// and fringe panels at tiny, fast-to-verify sizes.
+type blockConf struct {
+	mc int // rows of a packed A block (multiple of mr)
+	kc int // shared inner-dimension block depth
+	nc int // columns of a packed B block (multiple of nr)
+}
+
+// defaultBlockConf targets common x86-64 cache sizes: the packed A block
+// (mc×kc = 64×256 float64s = 128 KiB) fits in L2 alongside the B
+// micro-panel (kc×nr = 4 KiB) it is multiplied against, and the packed B
+// block (kc×nc = 1 MiB) lives in L3 and is reused across all A blocks.
+var defaultBlockConf = blockConf{mc: 64, kc: 256, nc: 512}
+
+// The register tile is mr×nr = 4×2: eight accumulators plus six operand
+// temporaries stay inside the sixteen SSE registers the gc compiler has
+// on amd64. A 4×4 tile amortizes loads better on paper but its sixteen
+// accumulators spill, which measures ~35% slower on the micro-benchmarks.
+const (
+	mr = 4 // micro-kernel rows
+	nr = 2 // micro-kernel columns
+)
+
+// blockedMinFlops is the dispatch cutoff: below ~64³ multiply-adds the
+// packing overhead (m·k + k·n extra copies) is not repaid and the naive
+// loops win, so the public kernels fall back to refGemm*. Each dimension
+// must also clear the micro-tile so the packed panels are mostly useful.
+const blockedMinFlops = 1 << 18
+
+// useBlocked reports whether the blocked driver should handle an
+// (m×k)·(k×n) product.
+func useBlocked(m, k, n int) bool {
+	return m >= 4*mr && n >= 4*nr && k >= 16 &&
+		int64(m)*int64(k)*int64(n) >= blockedMinFlops
+}
+
+// gemmScratch holds one worker's packing buffers. The buffers are
+// recycled through a sync.Pool so steady-state GEMM calls allocate
+// nothing; tile sizes vary, so the slices grow monotonically to the
+// largest block seen by that scratch.
+type gemmScratch struct {
+	a []float64 // packed A block: mc ceil-padded to mr, times kc
+	b []float64 // packed B block: kc times nc ceil-padded to nr
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+func (s *gemmScratch) ensure(an, bn int) {
+	if cap(s.a) < an {
+		s.a = make([]float64, an)
+	}
+	s.a = s.a[:cap(s.a)]
+	if cap(s.b) < bn {
+		s.b = make([]float64, bn)
+	}
+	s.b = s.b[:cap(s.b)]
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gemmBlocked computes C += op(A)·op(B) through the blocked driver, where
+// op is transposition when ta/tb is set: A is (m×k) or, with ta, (k×m);
+// B is (k×n) or, with tb, (n×k). Shapes are the caller's responsibility
+// (the public kernels validate before dispatching).
+func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if ta {
+		k = a.Rows
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	sc := gemmPool.Get().(*gemmScratch)
+	defer gemmPool.Put(sc)
+	sc.ensure(ceilDiv(cf.mc, mr)*mr*cf.kc, cf.kc*ceilDiv(cf.nc, nr)*nr)
+
+	for jc := 0; jc < n; jc += cf.nc {
+		nb := minInt(cf.nc, n-jc)
+		// k blocks ascend inside the jc loop, so every C element still
+		// accumulates its terms in ascending-k order (see contract above).
+		for pc := 0; pc < k; pc += cf.kc {
+			kb := minInt(cf.kc, k-pc)
+			packB(sc.b, b, tb, pc, kb, jc, nb)
+			for ic := 0; ic < m; ic += cf.mc {
+				mb := minInt(cf.mc, m-ic)
+				packA(sc.a, a, ta, ic, mb, pc, kb)
+				for jr := 0; jr < nb; jr += nr {
+					bp := sc.b[(jr/nr)*kb*nr:]
+					cols := minInt(nr, nb-jr)
+					for ir := 0; ir < mb; ir += mr {
+						ap := sc.a[(ir/mr)*kb*mr:]
+						rows := minInt(mr, mb-ir)
+						microKernel(kb, ap, bp, c, ic+ir, jc+jr, rows, cols)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packA gathers the (ic..ic+mb)×(pc..pc+kb) block of A (or Aᵀ when ta)
+// into mr-row panels: panel q holds element (ic+q·mr+ii, pc+p) at offset
+// q·kb·mr + p·mr + ii, with rows past mb zero-padded so the micro-kernel
+// never branches on the fringe.
+func packA(dst []float64, a *Tile, ta bool, ic, mb, pc, kb int) {
+	idx := 0
+	for ir := 0; ir < mb; ir += mr {
+		rows := minInt(mr, mb-ir)
+		if ta {
+			// A is stored k×m: row p of A holds the p-th term of every
+			// column, so a panel gathers mr adjacent columns per p.
+			for p := 0; p < kb; p++ {
+				src := a.Data[(pc+p)*a.Cols+ic+ir:]
+				for ii := 0; ii < rows; ii++ {
+					dst[idx+ii] = src[ii]
+				}
+				for ii := rows; ii < mr; ii++ {
+					dst[idx+ii] = 0
+				}
+				idx += mr
+			}
+		} else {
+			// A is stored m×k: copy each of the mr rows contiguously,
+			// scattering into the mr-strided panel layout.
+			for ii := 0; ii < rows; ii++ {
+				src := a.Data[(ic+ir+ii)*a.Cols+pc:]
+				for p := 0; p < kb; p++ {
+					dst[idx+p*mr+ii] = src[p]
+				}
+			}
+			for ii := rows; ii < mr; ii++ {
+				for p := 0; p < kb; p++ {
+					dst[idx+p*mr+ii] = 0
+				}
+			}
+			idx += kb * mr
+		}
+	}
+}
+
+// packB gathers the (pc..pc+kb)×(jc..jc+nb) block of B (or Bᵀ when tb)
+// into nr-column panels: panel q holds element (pc+p, jc+q·nr+jj) at
+// offset q·kb·nr + p·nr + jj, columns past nb zero-padded.
+func packB(dst []float64, b *Tile, tb bool, pc, kb, jc, nb int) {
+	idx := 0
+	for jr := 0; jr < nb; jr += nr {
+		cols := minInt(nr, nb-jr)
+		if tb {
+			// B is stored n×k: row j of the tile holds B(·,j) contiguously,
+			// so each of the nr columns copies a contiguous run.
+			for jj := 0; jj < cols; jj++ {
+				src := b.Data[(jc+jr+jj)*b.Cols+pc:]
+				for p := 0; p < kb; p++ {
+					dst[idx+p*nr+jj] = src[p]
+				}
+			}
+			for jj := cols; jj < nr; jj++ {
+				for p := 0; p < kb; p++ {
+					dst[idx+p*nr+jj] = 0
+				}
+			}
+			idx += kb * nr
+		} else {
+			for p := 0; p < kb; p++ {
+				src := b.Data[(pc+p)*b.Cols+jc+jr:]
+				for jj := 0; jj < cols; jj++ {
+					dst[idx+jj] = src[jj]
+				}
+				for jj := cols; jj < nr; jj++ {
+					dst[idx+jj] = 0
+				}
+				idx += nr
+			}
+		}
+	}
+}
+
+// microKernel computes the rows×cols sub-block of C at (i0, j0) +=
+// A-panel · B-panel over kb terms. The full mr×nr case keeps the tile in
+// eight scalar accumulators with the k loop unrolled four-way (constant
+// indices into a re-sliced window, so every bounds check is hoisted);
+// fringe tiles detour through a padded stack tile (the zero-padded
+// panels contribute exact +0 terms there). Both paths add each
+// accumulator's terms in ascending-k order — the unroll reads a[0..15]
+// in panel order — preserving the bit-exactness contract.
+func microKernel(kb int, ap, bp []float64, c *Tile, i0, j0 int, rows, cols int) {
+	if rows == mr && cols == nr {
+		ld := c.Cols
+		r0 := c.Data[i0*ld+j0 : i0*ld+j0+nr]
+		r1 := c.Data[(i0+1)*ld+j0 : (i0+1)*ld+j0+nr]
+		r2 := c.Data[(i0+2)*ld+j0 : (i0+2)*ld+j0+nr]
+		r3 := c.Data[(i0+3)*ld+j0 : (i0+3)*ld+j0+nr]
+		c00, c01 := r0[0], r0[1]
+		c10, c11 := r1[0], r1[1]
+		c20, c21 := r2[0], r2[1]
+		c30, c31 := r3[0], r3[1]
+		for ; kb >= 4; kb -= 4 {
+			a := ap[: 4*mr : 4*mr]
+			b := bp[: 4*nr : 4*nr]
+			c00 += a[0] * b[0]
+			c01 += a[0] * b[1]
+			c10 += a[1] * b[0]
+			c11 += a[1] * b[1]
+			c20 += a[2] * b[0]
+			c21 += a[2] * b[1]
+			c30 += a[3] * b[0]
+			c31 += a[3] * b[1]
+
+			c00 += a[4] * b[2]
+			c01 += a[4] * b[3]
+			c10 += a[5] * b[2]
+			c11 += a[5] * b[3]
+			c20 += a[6] * b[2]
+			c21 += a[6] * b[3]
+			c30 += a[7] * b[2]
+			c31 += a[7] * b[3]
+
+			c00 += a[8] * b[4]
+			c01 += a[8] * b[5]
+			c10 += a[9] * b[4]
+			c11 += a[9] * b[5]
+			c20 += a[10] * b[4]
+			c21 += a[10] * b[5]
+			c30 += a[11] * b[4]
+			c31 += a[11] * b[5]
+
+			c00 += a[12] * b[6]
+			c01 += a[12] * b[7]
+			c10 += a[13] * b[6]
+			c11 += a[13] * b[7]
+			c20 += a[14] * b[6]
+			c21 += a[14] * b[7]
+			c30 += a[15] * b[6]
+			c31 += a[15] * b[7]
+			ap = ap[4*mr:]
+			bp = bp[4*nr:]
+		}
+		for ; kb > 0; kb-- {
+			a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+			b0, b1 := bp[0], bp[1]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c30 += a3 * b0
+			c31 += a3 * b1
+			ap = ap[mr:]
+			bp = bp[nr:]
+		}
+		r0[0], r0[1] = c00, c01
+		r1[0], r1[1] = c10, c11
+		r2[0], r2[1] = c20, c21
+		r3[0], r3[1] = c30, c31
+		return
+	}
+	var acc [mr * nr]float64
+	ld := c.Cols
+	for ii := 0; ii < rows; ii++ {
+		copy(acc[ii*nr:ii*nr+cols], c.Data[(i0+ii)*ld+j0:])
+	}
+	for p := 0; p < kb; p++ {
+		av := ap[p*mr : p*mr+mr]
+		bv := bp[p*nr : p*nr+nr]
+		for ii := 0; ii < mr; ii++ {
+			a := av[ii]
+			row := acc[ii*nr : ii*nr+nr]
+			row[0] += a * bv[0]
+			row[1] += a * bv[1]
+		}
+	}
+	for ii := 0; ii < rows; ii++ {
+		copy(c.Data[(i0+ii)*ld+j0:(i0+ii)*ld+j0+cols], acc[ii*nr:])
+	}
+}
+
+// maskedMinWork is the dispatch cutoff for the packed masked multiply:
+// below it the k·n cost of transposing B dominates the nnz·k dot
+// products and the reference strided walk is cheaper.
+const maskedMinWork = 1 << 16
+
+// maskedGemmPacked computes the masked product through a packed Bᵀ: B is
+// transposed once into a column-major scratch so every dot product runs
+// over two contiguous vectors instead of striding column j through B. The
+// per-element accumulation order (ascending k from zero) is identical to
+// refMaskedGemm, so results are bit-equal.
+func maskedGemmPacked(mask *CSRTile, a, b *Tile) *CSRTile {
+	k, n := a.Cols, b.Cols
+	sc := gemmPool.Get().(*gemmScratch)
+	defer gemmPool.Put(sc)
+	sc.ensure(0, k*n)
+	bt := sc.b[: k*n : k*n]
+	for p := 0; p < k; p++ {
+		src := b.Data[p*n : (p+1)*n]
+		for j, v := range src {
+			bt[j*k+p] = v
+		}
+	}
+	out := &CSRTile{
+		Rows:   mask.Rows,
+		Cols:   mask.Cols,
+		RowPtr: append([]int(nil), mask.RowPtr...),
+		ColIdx: append([]int(nil), mask.ColIdx...),
+		Val:    make([]float64, mask.NNZ()),
+	}
+	for i := 0; i < mask.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for p := mask.RowPtr[i]; p < mask.RowPtr[i+1]; p++ {
+			bcol := bt[mask.ColIdx[p]*k : (mask.ColIdx[p]+1)*k]
+			var s float64
+			for q, av := range arow {
+				s += av * bcol[q]
+			}
+			out.Val[p] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the blocked GEMM driver. Each target decodes
+// the fuzz payload into shapes, a (deliberately small) block
+// configuration and finite matrix data, then checks the blocked kernel
+// against the naive reference. Shapes are kept small so the fuzzer's
+// iteration rate stays high; the block configuration is shrunk to match,
+// which makes every fringe and multi-block path reachable at those sizes
+// even though the public cutoff would route them to the naive loop.
+
+// fuzzDims decodes one byte into a dimension in [1, 48].
+func fuzzDims(b byte) int { return 1 + int(b)%48 }
+
+// fuzzConf decodes three bytes into a legal block configuration whose
+// blocks are small enough that fuzz-sized inputs span several of them.
+func fuzzConf(b0, b1, b2 byte) blockConf {
+	return blockConf{
+		mc: mr * (1 + int(b0)%6),
+		kc: 1 + int(b1)%24,
+		nc: nr * (1 + int(b2)%10),
+	}
+}
+
+// fuzzFill populates dst with finite values derived from the payload,
+// cycling if the payload is short. Byte 0 maps to exactly 0 so the
+// fuzzer can reach refGemm's zero-skip branch; other bytes spread over
+// [-1.98, +2] with varied binary exponents.
+func fuzzFill(dst []float64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	for i := range dst {
+		b := data[i%len(data)]
+		if b == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = (float64(b) - 127.5) / 64.0
+	}
+}
+
+func fuzzTile(rows, cols int, data []byte, salt byte) *Tile {
+	t := NewTile(rows, cols)
+	seeded := append([]byte{salt}, data...)
+	fuzzFill(t.Data, seeded)
+	return t
+}
+
+func FuzzGemm(f *testing.F) {
+	f.Add([]byte("gemm blocked differential seed"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 128, 7, 64, 200, 3, 0, 0, 99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		m, k, n := fuzzDims(data[0]), fuzzDims(data[1]), fuzzDims(data[2])
+		cf := fuzzConf(data[3], data[4], data[5])
+		a := fuzzTile(m, k, data[6:], 1)
+		b := fuzzTile(k, n, data[6:], 2)
+		got := fuzzTile(m, n, data[6:], 3)
+		want := got.Clone()
+		gemmBlocked(cf, got, a, b, false, false)
+		refGemm(want, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("blocked gemm diverges from refGemm at %dx%dx%d conf %+v", m, k, n, cf)
+		}
+		// Public dispatch on the same data must agree too, whichever
+		// path the cutoff picks.
+		got2 := fuzzTile(m, n, data[6:], 3)
+		Gemm(got2, a, b)
+		if !got2.Equal(want) {
+			t.Fatalf("Gemm dispatch diverges from refGemm at %dx%dx%d", m, k, n)
+		}
+	})
+}
+
+func FuzzGemmTA(f *testing.F) {
+	f.Add([]byte("gemmTA blocked differential seed"))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 1, 2, 3})
+	f.Add([]byte{47, 13, 2, 0, 255, 31, 0, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		m, k, n := fuzzDims(data[0]), fuzzDims(data[1]), fuzzDims(data[2])
+		cf := fuzzConf(data[3], data[4], data[5])
+		at := fuzzTile(k, m, data[6:], 4) // A is stored transposed: k x m
+		b := fuzzTile(k, n, data[6:], 5)
+		got := fuzzTile(m, n, data[6:], 6)
+		want := got.Clone()
+		gemmBlocked(cf, got, at, b, true, false)
+		refGemmTA(want, at, b)
+		if !got.Equal(want) {
+			t.Fatalf("blocked gemmTA diverges from refGemmTA at %dx%dx%d conf %+v", m, k, n, cf)
+		}
+		got2 := fuzzTile(m, n, data[6:], 6)
+		GemmTA(got2, at, b)
+		if !got2.Equal(want) {
+			t.Fatalf("GemmTA dispatch diverges from refGemmTA at %dx%dx%d", m, k, n)
+		}
+	})
+}
+
+func FuzzGemmTB(f *testing.F) {
+	f.Add([]byte("gemmTB blocked differential seed"))
+	f.Add([]byte{5, 40, 5, 0, 0, 0, 200, 100, 50})
+	f.Add([]byte{31, 31, 31, 255, 255, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		m, k, n := fuzzDims(data[0]), fuzzDims(data[1]), fuzzDims(data[2])
+		cf := fuzzConf(data[3], data[4], data[5])
+		a := fuzzTile(m, k, data[6:], 7)
+		bt := fuzzTile(n, k, data[6:], 8) // B is stored transposed: n x k
+		// Zero accumulator: dot-product and interleaved orderings
+		// coincide exactly (block.go contract), so demand bit equality.
+		got := NewTile(m, n)
+		want := NewTile(m, n)
+		gemmBlocked(cf, got, a, bt, false, true)
+		refGemmTB(want, a, bt)
+		if !got.Equal(want) {
+			t.Fatalf("blocked gemmTB diverges from refGemmTB at %dx%dx%d conf %+v", m, k, n, cf)
+		}
+		// Nonzero accumulator: refGemmTB rounds each dot before adding,
+		// so allow the association bound from the differential suite.
+		gotAcc := fuzzTile(m, n, data[6:], 9)
+		wantAcc := gotAcc.Clone()
+		c0 := gotAcc.Clone()
+		gemmBlocked(cf, gotAcc, a, bt, false, true)
+		refGemmTB(wantAcc, a, bt)
+		mag, eps := tbBound(c0, a, bt)
+		for i := range gotAcc.Data {
+			if d := math.Abs(gotAcc.Data[i] - wantAcc.Data[i]); d > eps*mag.Data[i]+1e-300 {
+				t.Fatalf("gemmTB accumulate at %dx%dx%d: element %d differs by %g, budget %g",
+					m, k, n, i, d, eps*mag.Data[i])
+			}
+		}
+	})
+}

@@ -9,13 +9,27 @@ import (
 // (k x n) and C is (m x n). It panics on shape mismatch: shape errors at
 // this level are always planner bugs, never data-dependent conditions.
 //
-// The kernel uses the ikj loop order with a hoisted A element so that the
-// inner loop is a scaled vector add over contiguous rows of B and C, which
-// is the standard cache-friendly arrangement for row-major storage.
+// Large products route through the cache-blocked, register-tiled driver
+// in block.go; below the cutoff the packing overhead is not repaid and
+// the naive reference loop refGemm runs instead. Both paths accumulate
+// each C element's terms in ascending-k order, so they agree bit-for-bit
+// on finite data (see the contract in block.go).
 func Gemm(c, a, b *Tile) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("linalg: gemm shape mismatch %v * %v -> %v", a, b, c))
 	}
+	if useBlocked(a.Rows, a.Cols, b.Cols) {
+		gemmBlocked(defaultBlockConf, c, a, b, false, false)
+		return
+	}
+	refGemm(c, a, b)
+}
+
+// refGemm is the naive reference kernel behind Gemm: ikj loop order with
+// a hoisted A element, so the inner loop is a scaled vector add over
+// contiguous rows of B and C. It is both the small-tile fast path and
+// the oracle the blocked driver is differentially tested against.
+func refGemm(c, a, b *Tile) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
@@ -36,10 +50,22 @@ func Gemm(c, a, b *Tile) {
 // GemmTA computes C += Aᵀ * B where A is (k x m), B is (k x n), C is (m x n).
 // Transposed-input kernels avoid materializing explicit transposes for the
 // common Aᵀ·B patterns in statistical workloads (e.g. GNMF update rules).
+// Large products route through the blocked driver, whose A-panel packing
+// absorbs the transposed layout; small ones fall back to refGemmTA.
 func GemmTA(c, a, b *Tile) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("linalg: gemmTA shape mismatch %vᵀ * %v -> %v", a, b, c))
 	}
+	if useBlocked(a.Cols, a.Rows, b.Cols) {
+		gemmBlocked(defaultBlockConf, c, a, b, true, false)
+		return
+	}
+	refGemmTA(c, a, b)
+}
+
+// refGemmTA is the naive reference kernel behind GemmTA: p-outer loops
+// whose inner loop is a scaled vector add over contiguous rows of B and C.
+func refGemmTA(c, a, b *Tile) {
 	k, m, n := a.Rows, a.Cols, b.Cols
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
@@ -58,10 +84,27 @@ func GemmTA(c, a, b *Tile) {
 }
 
 // GemmTB computes C += A * Bᵀ where A is (m x k), B is (n x k), C is (m x n).
+// Large products route through the blocked driver: its B-panel packing
+// reads Bᵀ's contiguous rows, replacing refGemmTB's per-output-column row
+// dots (which re-stream a full row of B for every output element) with
+// the same streaming micro-kernel the other kernels use.
 func GemmTB(c, a, b *Tile) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: gemmTB shape mismatch %v * %vᵀ -> %v", a, b, c))
 	}
+	if useBlocked(a.Rows, a.Cols, b.Rows) {
+		gemmBlocked(defaultBlockConf, c, a, b, false, true)
+		return
+	}
+	refGemmTB(c, a, b)
+}
+
+// refGemmTB is the naive reference kernel behind GemmTB: a row dot per
+// output element. Unlike the other references it sums each dot product
+// separately before adding it to C, so against a nonzero accumulator the
+// blocked kernel may differ from it in the last ulp (and is then the
+// *better*-ordered of the two); the differential tests allow for that.
+func refGemmTB(c, a, b *Tile) {
 	m, k, n := a.Rows, a.Cols, b.Rows
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]

@@ -93,10 +93,25 @@ func SpGemmDenseTA(c *Tile, s *CSRTile, b *Tile) {
 // multiply operator: when only the sparse pattern of the output is needed
 // (e.g. computing predictions at observed ratings), it avoids the full
 // dense product, costing NNZ(mask) * k instead of m*n*k.
+//
+// When the dot products dominate the cost of transposing B once, the
+// packed variant in block.go runs instead of the reference walk below:
+// it turns the column-strided B access of every dot into two contiguous
+// streams, with bit-identical results.
 func MaskedGemm(mask *CSRTile, a, b *Tile) *CSRTile {
 	if a.Cols != b.Rows || mask.Rows != a.Rows || mask.Cols != b.Cols {
 		panic(fmt.Sprintf("linalg: masked gemm shape mismatch %v * %v mask %dx%d", a, b, mask.Rows, mask.Cols))
 	}
+	if int64(mask.NNZ())*int64(a.Cols) >= maskedMinWork {
+		return maskedGemmPacked(mask, a, b)
+	}
+	return refMaskedGemm(mask, a, b)
+}
+
+// refMaskedGemm is the naive reference masked multiply: a strided column
+// walk of B per stored position. Retained as the small-input fast path
+// and as the differential oracle for maskedGemmPacked.
+func refMaskedGemm(mask *CSRTile, a, b *Tile) *CSRTile {
 	k, n := a.Cols, b.Cols
 	out := &CSRTile{
 		Rows:   mask.Rows,

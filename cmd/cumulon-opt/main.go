@@ -48,6 +48,8 @@ func run() error {
 		"write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
 	frontierSVG := flag.String("frontier-svg", "",
 		"write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
+	dumpRewrites := flag.Bool("dump-rewrites", false,
+		"report what the cross-statement CSE/hoisting pass eliminated from the program (also counted in the search trace as cse_chains / cse_flops_saved)")
 	chaosSpec := flag.String("chaos", "",
 		"stress-test the recommendation: execute the chosen deployment under this fault schedule (e.g. \"seed=7,kill=0@120,taskfault=0.02\") and report the slowdown against the prediction")
 	flag.Parse()
@@ -109,6 +111,20 @@ func run() error {
 	}
 	for _, j := range pl.Jobs {
 		fmt.Printf("    job %d %-24s %v\n", j.ID, j.Name, b.Splits[j.ID])
+	}
+	if *dumpRewrites {
+		fmt.Println("\nrewrites:")
+		if r := pl.Rewrites; r != nil {
+			for _, e := range r.Entries {
+				fmt.Printf("  cse %s: %s (%d occurrences, %d flops/eval saved)\n",
+					e.Temp, e.Expr, e.Occurrences, e.FlopsSaved)
+			}
+			fmt.Printf("  total: %d chain(s) eliminated, %d flops/eval saved (search counters: cse_chains=%d cse_flops_saved=%d)\n",
+				r.Chains(), r.FlopsSaved(),
+				st.CounterValue(opt.CounterCSEChains), st.CounterValue(opt.CounterCSEFlops))
+		} else {
+			fmt.Println("  none (no repeated matrix-product chains)")
+		}
 	}
 	if *showFrontier {
 		fmt.Printf("\ntime/cost frontier (%d candidates evaluated):\n", len(res.Candidates))

@@ -1,0 +1,165 @@
+package compute
+
+import (
+	"fmt"
+	"testing"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/plan"
+)
+
+// benchMapJob compiles a representative fused element-wise statement
+// (six tile operators: ⊙, ⊘, scale, add, sqrt, sub) over one ts x ts
+// tile and returns a warmed Ctx ready to evaluate it repeatedly.
+func benchMapJob(b *testing.B, ts int, interpret bool) (*Ctx, *plan.Job) {
+	b.Helper()
+	src := fmt.Sprintf(`
+input A %[1]d %[1]d
+input B %[1]d %[1]d
+input C %[1]d %[1]d
+Out = A .* B + 2 * (C ./ A) - sqrt(B)
+output Out
+`, ts)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := plan.Compile(prog, plan.Config{TileSize: ts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var job *plan.Job
+	for _, j := range pl.Jobs {
+		if j.Kind == plan.MapKind {
+			job = j
+		}
+	}
+	if job == nil {
+		b.Fatal("no map job in benchmark plan")
+	}
+	srcMap := mapSource{}
+	for _, in := range pl.Inputs {
+		d := linalg.RandomDense(ts, ts, 5).Map(func(x float64) float64 { return x + 0.5 })
+		loadInput(srcMap, in, d)
+	}
+	c := newCtx(Env{Src: srcMap, Interpret: interpret}, &scratch{})
+	return c, job
+}
+
+// BenchmarkMapEval measures one Map-job tile evaluation: "naive" walks
+// the expression tree (one pass and one intermediate tile per operator),
+// "fused" executes the compiled tape in a single cache-chunked pass into
+// scratch. The fused variant must run at 0 allocs/op in steady state —
+// CI greps this benchmark's output to enforce that.
+func BenchmarkMapEval(b *testing.B) {
+	for _, ts := range []int{256, 512} {
+		b.Run(fmt.Sprintf("naive-%d", ts), func(b *testing.B) {
+			c, j := benchMapJob(b, ts, true)
+			flops := int64(j.Prog.Ops()) * int64(ts) * int64(ts)
+			if _, err := c.evalTile(j.Expr, j.Leaves, 0, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.evalTile(j.Expr, j.Leaves, 0, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e6, "MFLOP/s")
+		})
+		b.Run(fmt.Sprintf("fused-%d", ts), func(b *testing.B) {
+			c, j := benchMapJob(b, ts, false)
+			flops := int64(j.Prog.Ops()) * int64(ts) * int64(ts)
+			warm, owned, err := c.evalProgram(j.Prog, j.Leaves, 0, 0, ts, ts, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if owned {
+				c.sc.release(warm)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tile, owned, err := c.evalProgram(j.Prog, j.Leaves, 0, 0, ts, ts, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if owned {
+					c.sc.release(tile)
+				}
+			}
+			b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e6, "MFLOP/s")
+		})
+	}
+}
+
+// BenchmarkMulEpilogue measures a full mul-tile with a scalar epilogue:
+// "naive" applies the epilogue as a separate interpreted pass over the
+// finished product; "fused" folds it into the blocked GEMM write-back
+// while the panel is cache-resident.
+func BenchmarkMulEpilogue(b *testing.B) {
+	const ts = 256
+	src := fmt.Sprintf(`
+input V %[1]d %[1]d
+input W %[1]d %[1]d
+input H %[1]d %[1]d
+Out = V .* (W * H) ./ V
+output Out
+`, ts)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := plan.Compile(prog, plan.Config{TileSize: ts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var job *plan.Job
+	for _, j := range pl.Jobs {
+		if j.Kind == plan.MulKind {
+			job = j
+		}
+	}
+	if job == nil || job.Epilogue == nil {
+		b.Fatal("benchmark plan lacks a mul job with an epilogue")
+	}
+	for _, mode := range []struct {
+		name      string
+		interpret bool
+	}{{"naive", true}, {"fused", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srcMap := mapSource{}
+			for _, in := range pl.Inputs {
+				d := linalg.RandomDense(ts, ts, 6).Map(func(x float64) float64 { return x + 0.5 })
+				loadInput(srcMap, in, d)
+			}
+			c := newCtx(Env{Src: srcMap, Interpret: mode.interpret}, &scratch{})
+			ks := Span{0, job.KTiles()}
+			run := func() {
+				var epi *plan.TileProgram
+				if !mode.interpret {
+					epi = job.EpiProg
+				}
+				acc, err := c.mulTile(job, 0, 0, ks, epi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.interpret {
+					r, cc := job.Out.TileShape(0, 0)
+					if _, _, _, err := c.evalTileShaped(job.Epilogue, job.Leaves, 0, 0, acc, r, cc); err != nil {
+						b.Fatal(err)
+					}
+				}
+				c.sc.release(acc)
+			}
+			run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}

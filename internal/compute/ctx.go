@@ -17,17 +17,18 @@ type scratch struct {
 }
 
 // tile returns a zeroed rows x cols tile, reusing a released buffer when
-// one is large enough.
+// one is large enough. The pooled Tile header is reshaped and returned
+// as-is (not re-wrapped), so a pool hit performs zero allocations.
 func (s *scratch) tile(rows, cols int) *linalg.Tile {
 	n := rows * cols
 	for i := len(s.free) - 1; i >= 0; i-- {
 		if t := s.free[i]; cap(t.Data) >= n {
 			s.free = append(s.free[:i], s.free[i+1:]...)
-			d := t.Data[:n]
-			for j := range d {
-				d[j] = 0
+			t.Rows, t.Cols, t.Data = rows, cols, t.Data[:n]
+			for j := range t.Data {
+				t.Data[j] = 0
 			}
-			return linalg.NewTileFrom(rows, cols, d)
+			return t
 		}
 	}
 	return linalg.NewTile(rows, cols)
@@ -53,15 +54,28 @@ type Ctx struct {
 	env Env
 	sc  *scratch
 	res Result
-	// dense / sparse cache decoded input tiles by path (materialized
-	// mode). A path read both densely and sparsely within one task is
-	// traced once per access kind, matching how a real task would fetch
-	// it twice into the two formats.
-	dense  map[string]*linalg.Tile
-	sparse map[string]*linalg.CSRTile
+	// dense / sparse cache decoded input tiles by structured key — no
+	// path formatting on the hit path, so repeat reads allocate nothing
+	// (materialized mode). A tile read both densely and sparsely within
+	// one task is traced once per access kind, matching how a real task
+	// would fetch it twice into the two formats.
+	dense  map[tileKey]*linalg.Tile
+	sparse map[tileKey]*linalg.CSRTile
 	// seen marks paths already traced in virtual mode, where the two
 	// access kinds share one marker (no payloads distinguish them).
 	seen map[string]bool
+	// leafBuf is the reusable leaf-slot buffer of the compiled pipeline
+	// executor (pipeline.go); it keeps steady-state evaluation at zero
+	// allocations.
+	leafBuf [][]float64
+}
+
+// tileKey identifies one tile of one matrix for the decoded-tile caches.
+// Matrix names are unique within a plan (partials included), so the name
+// plus stored tile coordinates is as unique as the DFS path.
+type tileKey struct {
+	name   string
+	ti, tj int
 }
 
 func newCtx(env Env, sc *scratch) *Ctx {
@@ -71,8 +85,8 @@ func newCtx(env Env, sc *scratch) *Ctx {
 	return &Ctx{
 		env:    env,
 		sc:     sc,
-		dense:  map[string]*linalg.Tile{},
-		sparse: map[string]*linalg.CSRTile{},
+		dense:  map[tileKey]*linalg.Tile{},
+		sparse: map[tileKey]*linalg.CSRTile{},
 		seen:   map[string]bool{},
 	}
 }
@@ -113,16 +127,20 @@ func (c *Ctx) readVirtual(path string) {
 
 // readDenseTile reads and decodes the dense tile at (ti, tj) of meta,
 // densifying sparse storage. Returns nil in virtual mode (the read is
-// still traced for the engine's accounting).
+// still traced for the engine's accounting). Cache hits are found by
+// structured key, without formatting the tile path — repeat reads of a
+// decoded tile must not allocate (the compiled pipelines' steady state
+// is zero allocations per evaluation).
 func (c *Ctx) readDenseTile(meta store.Meta, ti, tj int) (*linalg.Tile, error) {
-	path := meta.TilePath(ti, tj)
 	if c.virtual() {
-		c.readVirtual(path)
+		c.readVirtual(meta.TilePath(ti, tj))
 		return nil, nil
 	}
-	if t, ok := c.dense[path]; ok {
+	key := tileKey{meta.Name, ti, tj}
+	if t, ok := c.dense[key]; ok {
 		return t, nil
 	}
+	path := meta.TilePath(ti, tj)
 	raw, err := c.env.Src.Peek(path)
 	if err != nil {
 		return nil, err
@@ -141,20 +159,21 @@ func (c *Ctx) readDenseTile(meta store.Meta, ti, tj int) (*linalg.Tile, error) {
 			return nil, err
 		}
 	}
-	c.dense[path] = tile
+	c.dense[key] = tile
 	return tile, nil
 }
 
 // readSparseTile reads a CSR tile (sparse fast path).
 func (c *Ctx) readSparseTile(meta store.Meta, ti, tj int) (*linalg.CSRTile, error) {
-	path := meta.TilePath(ti, tj)
 	if c.virtual() {
-		c.readVirtual(path)
+		c.readVirtual(meta.TilePath(ti, tj))
 		return nil, nil
 	}
-	if t, ok := c.sparse[path]; ok {
+	key := tileKey{meta.Name, ti, tj}
+	if t, ok := c.sparse[key]; ok {
 		return t, nil
 	}
+	path := meta.TilePath(ti, tj)
 	raw, err := c.env.Src.Peek(path)
 	if err != nil {
 		return nil, err
@@ -164,7 +183,7 @@ func (c *Ctx) readSparseTile(meta store.Meta, ti, tj int) (*linalg.CSRTile, erro
 	if err != nil {
 		return nil, err
 	}
-	c.sparse[path] = sp
+	c.sparse[key] = sp
 	return sp, nil
 }
 
@@ -270,9 +289,13 @@ func (c *Ctx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj in
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	rt, _, _, err := c.evalTileShaped(r, leaves, ti, tj, mm, mmRows, mmCols)
+	rt, rRows, rCols, err := c.evalTileShaped(r, leaves, ti, tj, mm, mmRows, mmCols)
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	if rRows != rows || rCols != cols {
+		return nil, 0, 0, fmt.Errorf("element-wise operands disagree at tile (%d,%d): left %s is %dx%d, right %s is %dx%d",
+			ti, tj, l, rows, cols, r, rRows, rCols)
 	}
 	c.addFlops("zip", int64(rows)*int64(cols))
 	if lt == nil || rt == nil {
@@ -282,29 +305,44 @@ func (c *Ctx) zipTiles(l, r lang.Expr, leaves map[string]plan.LeafRef, ti, tj in
 }
 
 // mulTile computes the (ti, tj) output tile contribution of a Mul job over
-// the inner-dimension tile span ks, evaluating the prologue trees per tile
-// and using the sparse kernel when the left operand is a bare sparse leaf.
+// the inner-dimension tile span ks, evaluating the prologues per tile
+// (compiled tapes when available, the tree-walker under Env.Interpret) and
+// using the sparse kernel when the left operand is a bare sparse leaf.
 // Bare dense leaves read through a transposed access path skip the
 // explicit per-k Transpose materialization: the raw tile feeds GemmTA /
 // GemmTB, whose packing absorbs the layout (same reads traced, same flops
 // charged, one less tile copy per k step). The returned accumulator comes
 // from scratch; the caller must release it after encoding.
-func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
+//
+// epi, when non-nil, is the compiled epilogue tape to fuse into the final
+// k step's blocked GEMM write-back: each finished output panel is
+// transformed while cache-resident instead of in a second pass over the
+// tile. Callers pass it only when the span covers the whole inner
+// dimension (k-split partials must stay raw products; the aggregation
+// phase applies the epilogue). Epilogue leaf reads and flop charges land
+// at the same trace point the interpreted post-pass uses — after the last
+// prologue read and gemm charge — so both paths trace identically.
+func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span, epi *plan.TileProgram) (*linalg.Tile, error) {
 	outRows, outCols := j.Out.TileShape(ti, tj)
 	var acc *linalg.Tile
 	if !c.virtual() {
 		acc = c.sc.tile(outRows, outCols)
 	}
+	compiled := !c.env.Interpret && j.LProg != nil && j.RProg != nil
 	lRef, lBare := bareSparseLeaf(j.LExpr, j.Leaves)
 	lTRef, lTrans := bareTransposedDenseLeaf(j.LExpr, j.Leaves)
 	rTRef, rTrans := bareTransposedDenseLeaf(j.RExpr, j.Leaves)
+	epiFused := false
 	for k := ks.Lo; k < ks.Hi; k++ {
 		kk := KExtent(j.KSize, j.Out.TileSize, k)
 		var rt *linalg.Tile
+		var rtOwned bool
 		var err error
 		if rTrans && !lBare {
 			// Logical tile (k, tj) of the transposed leaf is raw (tj, k).
 			rt, err = c.readDenseTile(rTRef.Meta, tj, k)
+		} else if compiled {
+			rt, rtOwned, err = c.evalProgram(j.RProg, j.Leaves, k, tj, kk, outCols, nil)
 		} else {
 			rt, _, _, err = c.evalTileShaped(j.RExpr, j.Leaves, k, tj, nil, kk, outCols)
 		}
@@ -315,11 +353,17 @@ func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 			if err := c.mulSparseLeft(acc, lRef, ti, k, rt, kk, outCols); err != nil {
 				return nil, err
 			}
+			if rtOwned {
+				c.sc.release(rt)
+			}
 			continue
 		}
 		var lt *linalg.Tile
+		var ltOwned bool
 		if lTrans {
 			lt, err = c.readDenseTile(lTRef.Meta, k, ti)
+		} else if compiled {
+			lt, ltOwned, err = c.evalProgram(j.LProg, j.Leaves, ti, k, outRows, kk, nil)
 		} else {
 			lt, _, _, err = c.evalTileShaped(j.LExpr, j.Leaves, ti, k, nil, outRows, kk)
 		}
@@ -327,20 +371,55 @@ func (c *Ctx) mulTile(j *plan.Job, ti, tj int, ks Span) (*linalg.Tile, error) {
 			return nil, err
 		}
 		c.addFlops("gemm", linalg.GemmFlops(outRows, kk, outCols))
+		// Bind the fused epilogue on the final k step, once the product
+		// is about to be complete.
+		var hook linalg.EpilogueFn
+		if epi != nil && k == ks.Hi-1 {
+			el, err := c.readProgramLeaves(epi, j.Leaves, ti, tj, outRows, outCols)
+			if err != nil {
+				return nil, err
+			}
+			epiFused = true
+			if acc != nil {
+				a := acc
+				hook = func(i0, j0, rows, cols int) {
+					runTileProgramRegion(epi, a.Data, el, a.Data, a.Cols, i0, j0, rows, cols)
+				}
+			}
+		}
 		if acc == nil {
+			if ltOwned {
+				c.sc.release(lt)
+			}
+			if rtOwned {
+				c.sc.release(rt)
+			}
 			continue
 		}
 		switch {
 		case lTrans && rTrans:
 			// Aᵀ·Bᵀ has no fused kernel; transpose the (usually smaller)
 			// left tile once and use the Bᵀ path for the right.
-			linalg.GemmTB(acc, linalg.Transpose(lt), rt)
+			linalg.GemmHooked(acc, linalg.Transpose(lt), rt, false, true, hook)
 		case lTrans:
-			linalg.GemmTA(acc, lt, rt)
+			linalg.GemmHooked(acc, lt, rt, true, false, hook)
 		case rTrans:
-			linalg.GemmTB(acc, lt, rt)
+			linalg.GemmHooked(acc, lt, rt, false, true, hook)
 		default:
-			linalg.Gemm(acc, lt, rt)
+			linalg.GemmHooked(acc, lt, rt, false, false, hook)
+		}
+		if ltOwned {
+			c.sc.release(lt)
+		}
+		if rtOwned {
+			c.sc.release(rt)
+		}
+	}
+	if epi != nil && !epiFused {
+		// Sparse-left products have no blocked write-back to hook into;
+		// apply the epilogue in place over the finished accumulator.
+		if err := c.applyProgramInPlace(epi, j.Leaves, ti, tj, outRows, outCols, acc); err != nil {
+			return nil, err
 		}
 	}
 	return acc, nil

@@ -35,11 +35,27 @@ func KExtent(kSize, tileSize, k int) int {
 }
 
 // NewMapTask builds the compute task of one Map-job chunk: evaluate the
-// fused element-wise expression over the (is x js) output tiles.
+// fused element-wise expression over the (is x js) output tiles. The
+// compiled tape (j.Prog) runs one fused pass per tile; Env.Interpret (or a
+// hand-built job without a tape) falls back to the tree-walker oracle.
 func NewMapTask(env Env, j *plan.Job, is, js Span) *Task {
 	return &Task{Env: env, Fn: func(c *Ctx) error {
 		for ti := is.Lo; ti < is.Hi; ti++ {
 			for tj := js.Lo; tj < js.Hi; tj++ {
+				if j.Prog != nil && !env.Interpret {
+					rows, cols := j.Out.TileShape(ti, tj)
+					tile, owned, err := c.evalProgram(j.Prog, j.Leaves, ti, tj, rows, cols, nil)
+					if err != nil {
+						return err
+					}
+					if err := c.writeTile(j.Out, ti, tj, tile); err != nil {
+						return err
+					}
+					if owned {
+						c.sc.release(tile)
+					}
+					continue
+				}
 				tile, err := c.evalTile(j.Expr, j.Leaves, ti, tj, nil)
 				if err != nil {
 					return err
@@ -58,14 +74,22 @@ func NewMapTask(env Env, j *plan.Job, is, js Span) *Task {
 // the given epilogue (nil for partials).
 func NewMulTask(env Env, j *plan.Job, outMeta store.Meta, epilogue lang.Expr, is, js, ks Span) *Task {
 	return &Task{Env: env, Fn: func(c *Ctx) error {
+		// With compiled tapes the epilogue fuses into the final k step's
+		// blocked GEMM write-back inside mulTile; the tree-walker oracle
+		// applies it as a separate pass over the finished product.
+		fuseEpi := epilogue != nil && j.EpiProg != nil && !env.Interpret
 		for ti := is.Lo; ti < is.Hi; ti++ {
 			for tj := js.Lo; tj < js.Hi; tj++ {
-				acc, err := c.mulTile(j, ti, tj, ks)
+				var epi *plan.TileProgram
+				if fuseEpi {
+					epi = j.EpiProg
+				}
+				acc, err := c.mulTile(j, ti, tj, ks, epi)
 				if err != nil {
 					return err
 				}
 				out := acc
-				if epilogue != nil {
+				if epilogue != nil && !fuseEpi {
 					r, cc := j.Out.TileShape(ti, tj)
 					out, _, _, err = c.evalTileShaped(epilogue, j.Leaves, ti, tj, acc, r, cc)
 					if err != nil {
@@ -114,9 +138,17 @@ func NewAggTask(env Env, j *plan.Job, partials []store.Meta, is, js Span) *Task 
 				out := acc
 				if j.Epilogue != nil {
 					r, cc := j.Out.TileShape(ti, tj)
-					out, _, _, err = c.evalTileShaped(j.Epilogue, j.Leaves, ti, tj, acc, r, cc)
-					if err != nil {
-						return err
+					if j.EpiProg != nil && !env.Interpret {
+						// Compiled epilogue: one in-place pass over the
+						// summed accumulator.
+						if err := c.applyProgramInPlace(j.EpiProg, j.Leaves, ti, tj, r, cc, acc); err != nil {
+							return err
+						}
+					} else {
+						out, _, _, err = c.evalTileShaped(j.Epilogue, j.Leaves, ti, tj, acc, r, cc)
+						if err != nil {
+							return err
+						}
 					}
 				}
 				if err := c.writeTile(j.Out, ti, tj, out); err != nil {

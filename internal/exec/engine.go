@@ -35,6 +35,11 @@ type Config struct {
 	// Materialize selects real tile computation. Off, tiles are virtual:
 	// placement, accounting and timing are identical but no payloads move.
 	Materialize bool
+	// Interpret forces the tree-walking expression evaluator instead of
+	// the compiled tile pipelines. Both must produce byte-identical traces
+	// and tiles; the flag exists for differential/golden testing and as an
+	// escape hatch.
+	Interpret bool
 	// Seed drives the deterministic noise and placement randomness.
 	Seed int64
 	// NoiseFactor scales multiplicative task-duration noise (stragglers,
@@ -193,7 +198,7 @@ func New(cfg Config) (*Engine, error) {
 		retryBackoffSec:  *cfg.RetryBackoffSec,
 		chaos:            chaos.NewInjector(cfg.Chaos),
 		backend:          backend,
-		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize, TileOps: rec.Enabled()},
+		env:              compute.Env{Src: fs, Virtual: !cfg.Materialize, TileOps: rec.Enabled(), Interpret: cfg.Interpret},
 		rec:              rec,
 	}, nil
 }

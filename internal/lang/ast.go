@@ -100,6 +100,31 @@ var Funcs = map[string]func(float64) float64{
 	"sq":    func(x float64) float64 { return x * x },
 }
 
+// FuncNames lists the closed function set in a fixed order, so compiled
+// tile programs can reference a function by a stable small integer
+// instead of a map lookup per element.
+var FuncNames = []string{"abs", "exp", "log", "recip", "sq", "sqrt"}
+
+// FuncTable holds the functions in FuncNames order.
+var FuncTable = func() []func(float64) float64 {
+	t := make([]func(float64) float64, len(FuncNames))
+	for i, n := range FuncNames {
+		t[i] = Funcs[n]
+	}
+	return t
+}()
+
+// FuncIndex returns the FuncNames index of fn, or -1 when fn is not in
+// the closed function set.
+func FuncIndex(fn string) int {
+	for i, n := range FuncNames {
+		if n == fn {
+			return i
+		}
+	}
+	return -1
+}
+
 // Shape is the inferred type of an expression: dimensions plus whether the
 // value is stored sparse.
 type Shape struct {

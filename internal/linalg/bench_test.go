@@ -48,7 +48,7 @@ func BenchmarkGemm(b *testing.B) {
 	for _, n := range []int{128, 256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemm, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, false, false)
+				gemmBlocked(defaultBlockConf, c, a, x, false, false, nil)
 			})
 		})
 	}
@@ -58,7 +58,7 @@ func BenchmarkGemmTA(b *testing.B) {
 	for _, n := range []int{128, 256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemmTA, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, true, false)
+				gemmBlocked(defaultBlockConf, c, a, x, true, false, nil)
 			})
 		})
 	}
@@ -71,7 +71,7 @@ func BenchmarkGemmTB(b *testing.B) {
 	for _, n := range []int{256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemmTB, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, false, true)
+				gemmBlocked(defaultBlockConf, c, a, x, false, true, nil)
 			})
 		})
 	}

@@ -94,13 +94,22 @@ func minInt(a, b int) int {
 // op is transposition when ta/tb is set: A is (m×k) or, with ta, (k×m);
 // B is (k×n) or, with tb, (n×k). Shapes are the caller's responsibility
 // (the public kernels validate before dispatching).
-func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool) {
+//
+// epi, when non-nil, is applied to each m×nb output panel right after the
+// panel's pc loop lands its final k-block — the panel is fully accumulated
+// and still cache-resident, so a fused element-wise epilogue costs one
+// warm pass instead of a second cold sweep over the whole tile. Every C
+// element is visited by epi exactly once.
+func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool, epi EpilogueFn) {
 	m, n := c.Rows, c.Cols
 	k := a.Cols
 	if ta {
 		k = a.Rows
 	}
 	if m == 0 || n == 0 || k == 0 {
+		if epi != nil {
+			epi(0, 0, m, n)
+		}
 		return
 	}
 	sc := gemmPool.Get().(*gemmScratch)
@@ -127,6 +136,9 @@ func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool) {
 					}
 				}
 			}
+		}
+		if epi != nil {
+			epi(0, jc, m, nb)
 		}
 	}
 }

@@ -75,21 +75,21 @@ func TestBlockedGemmEdgeShapes(t *testing.T) {
 		b := zeroableTile(rng, s.k, s.n)
 		got := zeroableTile(rng, s.m, s.n)
 		want := got.Clone()
-		gemmBlocked(cf, got, a, b, false, false)
+		gemmBlocked(cf, got, a, b, false, false, nil)
 		refGemm(want, a, b)
 		assertExact(t, got, want, "gemm "+got.String())
 
 		at := zeroableTile(rng, s.k, s.m)
 		gotTA := zeroableTile(rng, s.m, s.n)
 		wantTA := gotTA.Clone()
-		gemmBlocked(cf, gotTA, at, b, true, false)
+		gemmBlocked(cf, gotTA, at, b, true, false, nil)
 		refGemmTA(wantTA, at, b)
 		assertExact(t, gotTA, wantTA, "gemmTA")
 
 		bt := zeroableTile(rng, s.n, s.k)
 		gotTB := &Tile{Rows: s.m, Cols: s.n, Data: make([]float64, s.m*s.n)}
 		wantTB := gotTB.Clone()
-		gemmBlocked(cf, gotTB, a, bt, false, true)
+		gemmBlocked(cf, gotTB, a, bt, false, true, nil)
 		refGemmTB(wantTB, a, bt)
 		// Zero accumulator: the dot-product and interleaved orderings
 		// coincide exactly (see block.go contract).
@@ -110,21 +110,21 @@ func TestBlockedGemmRandomized(t *testing.T) {
 
 		got := randTile(rng, m, n)
 		want := got.Clone()
-		gemmBlocked(cf, got, a, b, false, false)
+		gemmBlocked(cf, got, a, b, false, false, nil)
 		refGemm(want, a, b)
 		assertExact(t, got, want, "gemm")
 
 		at := Transpose(a)
 		gotTA := randTile(rng, m, n)
 		wantTA := gotTA.Clone()
-		gemmBlocked(cf, gotTA, at, b, true, false)
+		gemmBlocked(cf, gotTA, at, b, true, false, nil)
 		refGemmTA(wantTA, at, b)
 		assertExact(t, gotTA, wantTA, "gemmTA")
 
 		bt := Transpose(b)
 		gotTB := randTile(rng, m, n)
 		wantTB := gotTB.Clone()
-		gemmBlocked(cf, gotTB, a, bt, false, true)
+		gemmBlocked(cf, gotTB, a, bt, false, true, nil)
 		refGemmTB(wantTB, a, bt)
 		mag, eps := tbBound(wantTB, a, bt)
 		for i := range gotTB.Data {
@@ -180,8 +180,8 @@ func TestGemmAccumulationOrderAcrossKBlocks(t *testing.T) {
 	one := want.Clone()
 	many := want.Clone()
 	refGemm(want, a, b)
-	gemmBlocked(blockConf{mc: 64, kc: 512, nc: 64}, one, a, b, false, false) // single k block
-	gemmBlocked(blockConf{mc: 8, kc: 3, nc: 4}, many, a, b, false, false)    // 67 k blocks
+	gemmBlocked(blockConf{mc: 64, kc: 512, nc: 64}, one, a, b, false, false, nil) // single k block
+	gemmBlocked(blockConf{mc: 8, kc: 3, nc: 4}, many, a, b, false, false, nil)    // 67 k blocks
 	assertExact(t, one, want, "single k block")
 	assertExact(t, many, want, "many k blocks")
 }
@@ -227,9 +227,9 @@ func TestBlockedGemmSteadyStateAllocFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	a, b := randTile(rng, 96, 96), randTile(rng, 96, 96)
 	c := NewTile(96, 96)
-	gemmBlocked(defaultBlockConf, c, a, b, false, false) // warm the pool
+	gemmBlocked(defaultBlockConf, c, a, b, false, false, nil) // warm the pool
 	allocs := testing.AllocsPerRun(20, func() {
-		gemmBlocked(defaultBlockConf, c, a, b, false, false)
+		gemmBlocked(defaultBlockConf, c, a, b, false, false, nil)
 	})
 	if allocs != 0 {
 		t.Fatalf("blocked gemm allocates %.1f objects/run in steady state, want 0", allocs)

@@ -65,7 +65,7 @@ func FuzzGemm(f *testing.F) {
 		b := fuzzTile(k, n, data[6:], 2)
 		got := fuzzTile(m, n, data[6:], 3)
 		want := got.Clone()
-		gemmBlocked(cf, got, a, b, false, false)
+		gemmBlocked(cf, got, a, b, false, false, nil)
 		refGemm(want, a, b)
 		if !got.Equal(want) {
 			t.Fatalf("blocked gemm diverges from refGemm at %dx%dx%d conf %+v", m, k, n, cf)
@@ -94,7 +94,7 @@ func FuzzGemmTA(f *testing.F) {
 		b := fuzzTile(k, n, data[6:], 5)
 		got := fuzzTile(m, n, data[6:], 6)
 		want := got.Clone()
-		gemmBlocked(cf, got, at, b, true, false)
+		gemmBlocked(cf, got, at, b, true, false, nil)
 		refGemmTA(want, at, b)
 		if !got.Equal(want) {
 			t.Fatalf("blocked gemmTA diverges from refGemmTA at %dx%dx%d conf %+v", m, k, n, cf)
@@ -123,7 +123,7 @@ func FuzzGemmTB(f *testing.F) {
 		// coincide exactly (block.go contract), so demand bit equality.
 		got := NewTile(m, n)
 		want := NewTile(m, n)
-		gemmBlocked(cf, got, a, bt, false, true)
+		gemmBlocked(cf, got, a, bt, false, true, nil)
 		refGemmTB(want, a, bt)
 		if !got.Equal(want) {
 			t.Fatalf("blocked gemmTB diverges from refGemmTB at %dx%dx%d conf %+v", m, k, n, cf)
@@ -133,7 +133,7 @@ func FuzzGemmTB(f *testing.F) {
 		gotAcc := fuzzTile(m, n, data[6:], 9)
 		wantAcc := gotAcc.Clone()
 		c0 := gotAcc.Clone()
-		gemmBlocked(cf, gotAcc, a, bt, false, true)
+		gemmBlocked(cf, gotAcc, a, bt, false, true, nil)
 		refGemmTB(wantAcc, a, bt)
 		mag, eps := tbBound(c0, a, bt)
 		for i := range gotAcc.Data {

@@ -19,7 +19,7 @@ func Gemm(c, a, b *Tile) {
 		panic(fmt.Sprintf("linalg: gemm shape mismatch %v * %v -> %v", a, b, c))
 	}
 	if useBlocked(a.Rows, a.Cols, b.Cols) {
-		gemmBlocked(defaultBlockConf, c, a, b, false, false)
+		gemmBlocked(defaultBlockConf, c, a, b, false, false, nil)
 		return
 	}
 	refGemm(c, a, b)
@@ -57,7 +57,7 @@ func GemmTA(c, a, b *Tile) {
 		panic(fmt.Sprintf("linalg: gemmTA shape mismatch %vᵀ * %v -> %v", a, b, c))
 	}
 	if useBlocked(a.Cols, a.Rows, b.Cols) {
-		gemmBlocked(defaultBlockConf, c, a, b, true, false)
+		gemmBlocked(defaultBlockConf, c, a, b, true, false, nil)
 		return
 	}
 	refGemmTA(c, a, b)
@@ -93,7 +93,7 @@ func GemmTB(c, a, b *Tile) {
 		panic(fmt.Sprintf("linalg: gemmTB shape mismatch %v * %vᵀ -> %v", a, b, c))
 	}
 	if useBlocked(a.Rows, a.Cols, b.Rows) {
-		gemmBlocked(defaultBlockConf, c, a, b, false, true)
+		gemmBlocked(defaultBlockConf, c, a, b, false, true, nil)
 		return
 	}
 	refGemmTB(c, a, b)
@@ -117,6 +117,62 @@ func refGemmTB(c, a, b *Tile) {
 			}
 			crow[j] += s
 		}
+	}
+}
+
+// EpilogueFn transforms a finished rows×cols panel of C at (i0, j0). The
+// blocked driver invokes it once per output panel, immediately after the
+// panel's final k-block lands — while the panel is still cache-resident —
+// so a fused element-wise epilogue costs one warm pass instead of a
+// second cold sweep over the whole tile. Every element of C is visited
+// exactly once across the invocations.
+type EpilogueFn func(i0, j0, rows, cols int)
+
+// GemmHooked computes C += op(A)·op(B), where ta/tb select transposition
+// exactly as in Gemm / GemmTA / GemmTB (ta && tb is unsupported — callers
+// transpose one operand first, as mulTile does), and then applies epi to
+// every element of C exactly once. On the blocked path the epilogue is
+// fused into the write-back per output panel; on the reference fallback it
+// runs once over the whole tile after the product. A nil epi makes
+// GemmHooked identical to the plain kernels.
+//
+// The epilogue sees each C element only after its accumulation is
+// complete, so results are bit-identical to applying epi as a separate
+// post-pass over the finished product.
+func GemmHooked(c, a, b *Tile, ta, tb bool, epi EpilogueFn) {
+	switch {
+	case ta && tb:
+		panic("linalg: gemmHooked does not support ta && tb")
+	case ta:
+		if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+			panic(fmt.Sprintf("linalg: gemmTA shape mismatch %vᵀ * %v -> %v", a, b, c))
+		}
+		if useBlocked(a.Cols, a.Rows, b.Cols) {
+			gemmBlocked(defaultBlockConf, c, a, b, true, false, epi)
+			return
+		}
+		refGemmTA(c, a, b)
+	case tb:
+		if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+			panic(fmt.Sprintf("linalg: gemmTB shape mismatch %v * %vᵀ -> %v", a, b, c))
+		}
+		if useBlocked(a.Rows, a.Cols, b.Rows) {
+			gemmBlocked(defaultBlockConf, c, a, b, false, true, epi)
+			return
+		}
+		refGemmTB(c, a, b)
+	default:
+		if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+			panic(fmt.Sprintf("linalg: gemm shape mismatch %v * %v -> %v", a, b, c))
+		}
+		if useBlocked(a.Rows, a.Cols, b.Cols) {
+			gemmBlocked(defaultBlockConf, c, a, b, false, false, epi)
+			return
+		}
+		refGemm(c, a, b)
+	}
+	if epi != nil {
+		epi(0, 0, c.Rows, c.Cols)
 	}
 }
 

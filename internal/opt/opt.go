@@ -243,6 +243,10 @@ func (o *Optimizer) Enumerate(req Request) ([]Deployment, error) {
 					if err != nil {
 						return nil, err
 					}
+					if r := pl.Rewrites; r != nil {
+						rec.Count(CounterCSEChains, int64(r.Chains()))
+						rec.Count(CounterCSEFlops, r.FlopsSaved())
+					}
 					pred := sim.New(tm, cluster)
 					pred.Replication = req.Replication
 					pred.JobStartup = req.JobStartupSec

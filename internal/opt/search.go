@@ -80,6 +80,11 @@ const (
 	CounterModelCacheMisses
 	// CounterSimTrials counts Monte Carlo completion-time trials.
 	CounterSimTrials
+	// CounterCSEChains counts matrix-product chains the cross-statement
+	// CSE pass eliminated across all plan compilations of the search.
+	CounterCSEChains
+	// CounterCSEFlops counts the flops those eliminations saved.
+	CounterCSEFlops
 	// NumSearchCounters sizes counter arrays.
 	NumSearchCounters
 )
@@ -94,6 +99,10 @@ func (c SearchCounter) String() string {
 		return "model_cache_misses"
 	case CounterSimTrials:
 		return "sim_trials"
+	case CounterCSEChains:
+		return "cse_chains"
+	case CounterCSEFlops:
+		return "cse_flops_saved"
 	}
 	return "?"
 }

@@ -21,6 +21,10 @@ type Config struct {
 	// a bare Mul job (ablation knob; approximates one-operator-per-job
 	// systems).
 	DisableFusion bool
+	// DisableCSE turns off the cross-statement common-subexpression
+	// elimination / loop-invariant hoisting pass that runs in front of
+	// lowering (ablation knob).
+	DisableCSE bool
 }
 
 // Compile lowers a validated program to a physical plan. Each statement
@@ -32,6 +36,13 @@ func Compile(p *lang.Program, cfg Config) (*Plan, error) {
 	}
 	if _, err := p.Validate(); err != nil {
 		return nil, err
+	}
+	var rewrites *RewriteReport
+	if !cfg.DisableCSE {
+		var err error
+		if p, rewrites, err = CSE(p); err != nil {
+			return nil, err
+		}
 	}
 	l := &lowerer{
 		cfg:      cfg,
@@ -64,6 +75,13 @@ func Compile(p *lang.Program, cfg Config) (*Plan, error) {
 	}
 	for _, o := range p.Outputs {
 		l.plan.Outputs[o] = l.metaEnv[o]
+	}
+	l.plan.Rewrites = rewrites
+	// Compile the fused element-wise pipelines last: lowerMask mutates
+	// jobs after they are added, so the tapes must only be built once
+	// every job has its final shape.
+	if err := l.plan.compilePrograms(); err != nil {
+		return nil, err
 	}
 	return l.plan, nil
 }

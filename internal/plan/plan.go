@@ -122,6 +122,14 @@ type Job struct {
 	LExpr, RExpr lang.Expr
 	Epilogue     lang.Expr
 
+	// Prog is the compiled tape of Expr (Map jobs); LProg and RProg are
+	// the compiled prologue tapes and EpiProg the compiled epilogue tape
+	// of a Mul job. Compile populates them as a finalize pass; the compute
+	// layer executes the tapes in a single fused pass per tile, keeping
+	// the tree forms above only for the differential-oracle interpreter
+	// and for cost estimation.
+	Prog, LProg, RProg, EpiProg *TileProgram
+
 	// MaskLeaf, when non-empty, names the sparse pattern leaf of a masked
 	// multiply: the job computes the product only at the pattern's stored
 	// positions and writes a sparse output. Masked jobs cannot k-split
@@ -187,6 +195,10 @@ type Plan struct {
 	Inputs []store.Meta
 	// Outputs maps each program output variable to its final stored matrix.
 	Outputs map[string]store.Meta
+	// Rewrites reports what the cross-statement CSE/hoisting pass removed
+	// from the program before lowering (nil when the pass was disabled or
+	// found nothing).
+	Rewrites *RewriteReport
 }
 
 // JobByID returns the job with the given id, or nil.

@@ -231,6 +231,326 @@ func chainOrder(factors []lang.Expr, dims []int) lang.Expr {
 	return build(0, n-1)
 }
 
+// Cross-statement rewrite pass: common-subexpression elimination and
+// loop-invariant hoisting over the unrolled program.
+//
+// Cumulon programs arrive with iterations unrolled, so a subexpression
+// recomputed every iteration (the classic Aᵀ·A of normal-equation
+// iterations) appears as many syntactically identical chains whose
+// operands carry the same assignment versions. CSE finds maximal
+// matrix-product chains whose *version-keyed* canonical form occurs more
+// than once across the program, materializes each into a fresh temp
+// assigned just before its first use, and rewrites every occurrence to
+// read the temp. Keying occurrences by (variable, assignment version at
+// the point of use) makes the value equality exact — a chain over
+// operands that are never reassigned between two uses has one key, so
+// cross-iteration CSE of invariant chains *is* loop-invariant hoisting —
+// while any intervening reassignment splits the keys and blocks the
+// rewrite. Only matrix-product chains are extracted: products dominate
+// cost, and element-wise trees are fused into their consumers anyway, so
+// deduplicating them would trade free fused flops for a materialized
+// temp's I/O.
+
+// CSEEntry describes one eliminated chain: all occurrences of the chain
+// now read the hoisted temp instead of recomputing the product.
+type CSEEntry struct {
+	// Expr is the canonical text of the eliminated product chain.
+	Expr string
+	// Temp is the variable the chain was hoisted into.
+	Temp string
+	// Occurrences is how many uses now share the single evaluation.
+	Occurrences int
+	// FlopsSaved is (Occurrences-1) × the optimally-ordered chain cost.
+	FlopsSaved int64
+}
+
+// RewriteReport summarizes what the cross-statement CSE/hoisting pass
+// eliminated from a program.
+type RewriteReport struct {
+	Entries []CSEEntry
+}
+
+// Chains returns the number of distinct chains eliminated.
+func (r *RewriteReport) Chains() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Entries)
+}
+
+// FlopsSaved returns the total flops the pass eliminated.
+func (r *RewriteReport) FlopsSaved() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, e := range r.Entries {
+		n += e.FlopsSaved
+	}
+	return n
+}
+
+func (r *RewriteReport) String() string {
+	if r.Chains() == 0 {
+		return "rewrites: none"
+	}
+	s := fmt.Sprintf("rewrites: %d chain(s) eliminated, %d flops saved\n", r.Chains(), r.FlopsSaved())
+	for _, e := range r.Entries {
+		s += fmt.Sprintf("  %s = %s  (%d occurrences, %d flops saved)\n",
+			e.Temp, e.Expr, e.Occurrences, e.FlopsSaved)
+	}
+	return s
+}
+
+// CSE applies the cross-statement rewrite pass to a validated program,
+// returning the rewritten program (a fresh value; the input is never
+// mutated) and a report of what was eliminated. When nothing is
+// eliminated the input program is returned unchanged with a nil report.
+func CSE(p *lang.Program) (*lang.Program, *RewriteReport, error) {
+	env, err := p.Validate()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Normalize every right-hand side so chain keys are insensitive to
+	// transpose placement and scale nesting (lowering re-normalizes, so
+	// substituting the normalized forms back is value-preserving).
+	norm := make([]lang.Expr, len(p.Stmts))
+	for i, st := range p.Stmts {
+		norm[i] = foldScale(pushTranspose(st.Expr, false))
+	}
+
+	// Pass 1: count version-keyed chain occurrences in program order.
+	type chainInfo struct {
+		key       string
+		expr      lang.Expr // first occurrence, normalized
+		count     int
+		firstStmt int
+	}
+	versions := map[string]int{}
+	for _, in := range p.Inputs {
+		versions[in.Name] = 1
+	}
+	counts := map[string]*chainInfo{}
+	var order []*chainInfo
+	for i, st := range p.Stmts {
+		if _, masked := norm[i].(lang.Mask); !masked {
+			forEachChain(norm[i], func(chain lang.Expr) {
+				k := chainKey(chain, versions)
+				ci := counts[k]
+				if ci == nil {
+					ci = &chainInfo{key: k, expr: chain, firstStmt: i}
+					counts[k] = ci
+					order = append(order, ci)
+				}
+				ci.count++
+			})
+		}
+		versions[st.Name]++
+	}
+
+	var winners []*chainInfo
+	for _, ci := range order {
+		if ci.count >= 2 {
+			winners = append(winners, ci)
+		}
+	}
+	if len(winners) == 0 {
+		return p, nil, nil
+	}
+
+	// Pass 2: rebuild the statement list, materializing each winning chain
+	// into a temp just before its first use and rewriting occurrences.
+	temp := map[string]string{} // chain key -> temp variable
+	report := &RewriteReport{}
+	out := &lang.Program{
+		Name:    p.Name,
+		Inputs:  append([]lang.Input(nil), p.Inputs...),
+		Outputs: append([]string(nil), p.Outputs...),
+	}
+	versions = map[string]int{}
+	for _, in := range p.Inputs {
+		versions[in.Name] = 1
+	}
+	for i, st := range p.Stmts {
+		for _, ci := range winners {
+			if ci.firstStmt != i {
+				continue
+			}
+			name := fmt.Sprintf("$cse%d", len(temp)+1)
+			temp[ci.key] = name
+			// The temp's own body may use earlier temps for chains nested
+			// inside its factors, but never for its root (that would bind
+			// the temp to itself).
+			body := replaceChains(ci.expr, versions, temp, name)
+			out.Stmts = append(out.Stmts, lang.Assign{Name: name, Expr: body})
+			versions[name]++
+			flops, ferr := hoistedChainFlops(ci.expr, env)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			report.Entries = append(report.Entries, CSEEntry{
+				Expr:        ci.expr.String(),
+				Temp:        name,
+				Occurrences: ci.count,
+				FlopsSaved:  int64(ci.count-1) * flops,
+			})
+		}
+		e := norm[i]
+		if _, masked := e.(lang.Mask); !masked {
+			e = replaceChains(e, versions, temp, "")
+		}
+		out.Stmts = append(out.Stmts, lang.Assign{Name: st.Name, Expr: e})
+		versions[st.Name]++
+	}
+	if _, err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("plan: CSE produced an invalid program: %w", err)
+	}
+	return out, report, nil
+}
+
+// forEachChain visits every maximal matrix-product chain of e in prefix
+// order: each MatMul node whose parent is not a MatMul roots one chain,
+// and the visit then recurses into the chain's factors (so chains nested
+// inside factors are visited too).
+func forEachChain(e lang.Expr, f func(chain lang.Expr)) {
+	switch x := e.(type) {
+	case lang.MatMul:
+		f(x)
+		for _, fac := range collectFactors(x) {
+			forEachChain(fac, f)
+		}
+	case lang.Add:
+		forEachChain(x.L, f)
+		forEachChain(x.R, f)
+	case lang.Sub:
+		forEachChain(x.L, f)
+		forEachChain(x.R, f)
+	case lang.ElemMul:
+		forEachChain(x.L, f)
+		forEachChain(x.R, f)
+	case lang.ElemDiv:
+		forEachChain(x.L, f)
+		forEachChain(x.R, f)
+	case lang.Scale:
+		forEachChain(x.X, f)
+	case lang.Apply:
+		forEachChain(x.X, f)
+	case lang.Transpose:
+		forEachChain(x.X, f)
+	case lang.Mask:
+		forEachChain(x.P, f)
+		forEachChain(x.X, f)
+	}
+}
+
+// chainKey renders the version-keyed canonical form of e. Product chains
+// render as their flattened factor sequence, so the key is insensitive to
+// parenthesization (the chain-order DP re-parenthesizes freely).
+func chainKey(e lang.Expr, versions map[string]int) string {
+	switch x := e.(type) {
+	case lang.Var:
+		return fmt.Sprintf("%s@%d", x.Name, versions[x.Name])
+	case lang.Transpose:
+		return chainKey(x.X, versions) + "'"
+	case lang.MatMul:
+		factors := collectFactors(x)
+		parts := make([]string, len(factors))
+		for i, f := range factors {
+			parts[i] = chainKey(f, versions)
+		}
+		return "mm(" + joinKeys(parts) + ")"
+	case lang.Add:
+		return "add(" + chainKey(x.L, versions) + "," + chainKey(x.R, versions) + ")"
+	case lang.Sub:
+		return "sub(" + chainKey(x.L, versions) + "," + chainKey(x.R, versions) + ")"
+	case lang.ElemMul:
+		return "emul(" + chainKey(x.L, versions) + "," + chainKey(x.R, versions) + ")"
+	case lang.ElemDiv:
+		return "ediv(" + chainKey(x.L, versions) + "," + chainKey(x.R, versions) + ")"
+	case lang.Scale:
+		return fmt.Sprintf("scale(%g,%s)", x.S, chainKey(x.X, versions))
+	case lang.Apply:
+		return x.Fn + "(" + chainKey(x.X, versions) + ")"
+	case lang.Mask:
+		return "mask(" + chainKey(x.P, versions) + "," + chainKey(x.X, versions) + ")"
+	default:
+		return fmt.Sprintf("?%T", e)
+	}
+}
+
+func joinKeys(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += ","
+		}
+		s += p
+	}
+	return s
+}
+
+// replaceChains rewrites every maximal chain of e whose key has a temp
+// binding into a reference to that temp, leaving everything else intact.
+// skipTemp names a temp whose own defining body is being rewritten: its
+// root chain must not be replaced by itself.
+func replaceChains(e lang.Expr, versions map[string]int, temp map[string]string, skipTemp string) lang.Expr {
+	switch x := e.(type) {
+	case lang.Var:
+		return x
+	case lang.Transpose:
+		return lang.Transpose{X: replaceChains(x.X, versions, temp, skipTemp)}
+	case lang.MatMul:
+		if name, ok := temp[chainKey(x, versions)]; ok && name != skipTemp {
+			return lang.Var{Name: name}
+		}
+		// Not replaced at this root: rebuild the spine without key-testing
+		// its sub-products (fragments of one chain must not bind to temps
+		// of shorter chains — that would fence the chain-order DP), and
+		// recurse into the factors, whose own nested chains are distinct.
+		return rebuildSpine(x, versions, temp)
+	case lang.Add:
+		return lang.Add{L: replaceChains(x.L, versions, temp, skipTemp), R: replaceChains(x.R, versions, temp, skipTemp)}
+	case lang.Sub:
+		return lang.Sub{L: replaceChains(x.L, versions, temp, skipTemp), R: replaceChains(x.R, versions, temp, skipTemp)}
+	case lang.ElemMul:
+		return lang.ElemMul{L: replaceChains(x.L, versions, temp, skipTemp), R: replaceChains(x.R, versions, temp, skipTemp)}
+	case lang.ElemDiv:
+		return lang.ElemDiv{L: replaceChains(x.L, versions, temp, skipTemp), R: replaceChains(x.R, versions, temp, skipTemp)}
+	case lang.Scale:
+		return lang.Scale{S: x.S, X: replaceChains(x.X, versions, temp, skipTemp)}
+	case lang.Apply:
+		return lang.Apply{Fn: x.Fn, X: replaceChains(x.X, versions, temp, skipTemp)}
+	case lang.Mask:
+		return lang.Mask{P: replaceChains(x.P, versions, temp, skipTemp), X: replaceChains(x.X, versions, temp, skipTemp)}
+	default:
+		return e
+	}
+}
+
+// rebuildSpine walks a product spine preserving its parenthesization,
+// replacing chains only inside the spine's factors.
+func rebuildSpine(x lang.MatMul, versions map[string]int, temp map[string]string) lang.Expr {
+	side := func(e lang.Expr) lang.Expr {
+		if m, ok := e.(lang.MatMul); ok {
+			return rebuildSpine(m, versions, temp)
+		}
+		return replaceChains(e, versions, temp, "")
+	}
+	return lang.MatMul{L: side(x.L), R: side(x.R)}
+}
+
+// hoistedChainFlops estimates the optimally-ordered evaluation cost of a
+// product chain (what one occurrence costs, and so what each eliminated
+// occurrence saves).
+func hoistedChainFlops(chain lang.Expr, env map[string]lang.Shape) (int64, error) {
+	re, err := reorderChains(chain, env)
+	if err != nil {
+		return 0, err
+	}
+	return ChainFlops(re, env)
+}
+
 // ChainFlops returns the flop cost of evaluating all matrix products in e
 // as parenthesized, given variable shapes. It is used by tests to verify
 // that reordering never increases cost, and by the experiment harness to

@@ -55,6 +55,39 @@ func GNMF(m, n, r, iters int, density float64) Workload {
 	return Workload{Name: p.Name, Prog: p, Densities: map[string]float64{"V": density}}
 }
 
+// GNMFKL builds `iters` multiplicative-update iterations of NMF under the
+// KL (I-divergence) objective, in Lee & Seung's Jacobi form: both factor
+// updates use the quotient matrix V ⊘ (W H) evaluated at the *same* W and
+// H, so the product W*H appears twice per iteration with identical
+// operand versions. U is the all-ones matrix supplying the column/row
+// sums of the denominators. The repeated product makes this the honest
+// exercise for the cross-statement CSE pass (the Gaussian variant's
+// products all differ once a factor is updated in place):
+//
+//	Hn ← H ⊙ (Wᵀ (V ⊘ (W H))) ⊘ (Wᵀ U)
+//	W  ← W ⊙ ((V ⊘ (W H)) Hᵀ) ⊘ (U Hᵀ)
+//	H  ← Hn
+func GNMFKL(m, n, r, iters int, density float64) Workload {
+	p := &lang.Program{
+		Name: fmt.Sprintf("gnmf-kl-%dx%dx%d-i%d", m, n, r, iters),
+		Inputs: []lang.Input{
+			{Name: "V", Rows: m, Cols: n, Sparse: true},
+			{Name: "W", Rows: m, Cols: r},
+			{Name: "H", Rows: r, Cols: n},
+			{Name: "U", Rows: m, Cols: n},
+		},
+		Outputs: []string{"W", "H"},
+	}
+	for i := 0; i < iters; i++ {
+		p.Stmts = append(p.Stmts,
+			assign("Hn", "H .* (W' * (V ./ (W * H))) ./ (W' * U)"),
+			assign("W", "W .* ((V ./ (W * H)) * H') ./ (U * H')"),
+			assign("H", "Hn"),
+		)
+	}
+	return Workload{Name: p.Name, Prog: p, Densities: map[string]float64{"V": density}}
+}
+
 // RSVD builds the sketching stage of randomized SVD for A (m x n) with a
 // target rank k and `power` power iterations:
 //

@@ -1,0 +1,72 @@
+// Command cumulon-load is a declarative multi-client traffic generator
+// for cumulond: it reads a JSON load spec (N tenants × M clients × a
+// weighted program mix × seeded arrivals), drives a running server, and
+// prints a per-tenant fairness and latency report. It exits non-zero
+// when jobs fail, when any job starves past the spec's wait bound, or
+// (with -require-cache-hits) when the plan cache never hit.
+//
+// Example specs live in examples/loads/.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cumulon/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cumulon-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cumulon-load", flag.ContinueOnError)
+	fs.SetOutput(out)
+	serverURL := fs.String("server", "http://127.0.0.1:8470", "base URL of the cumulond server")
+	specPath := fs.String("spec", "", "path to the JSON load spec (required)")
+	maxWait := fs.Float64("max-wait", 0, "override the spec's starvation bound in seconds (0 = spec value)")
+	requireHits := fs.Bool("require-cache-hits", false, "fail unless the plan cache served at least one hit")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required (see examples/loads/)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := server.ParseLoadSpec(data)
+	if err != nil {
+		return err
+	}
+	if *maxWait > 0 {
+		spec.MaxWaitSec = *maxWait
+	}
+
+	rep, err := server.RunLoad(strings.TrimRight(*serverURL, "/"), spec)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		rep.Write(out)
+	}
+	return rep.Healthy(*requireHits)
+}

@@ -25,37 +25,47 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cumulon-opt:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	file := flag.String("f", "", "program file (default: stdin)")
-	deadline := flag.Float64("deadline", 0, "deadline in seconds (minimize cost)")
-	budget := flag.Float64("budget", 0, "budget in dollars (minimize time)")
-	tile := flag.Int("tile", 2048, "tile size in elements")
-	density := flag.Float64("density", 0.05, "assumed density of sparse inputs")
-	maxNodes := flag.Int("max-nodes", 64, "largest cluster size to consider")
-	seed := flag.Int64("seed", 42, "calibration seed")
-	confidence := flag.Float64("confidence", 0,
+func run(args []string) error {
+	fs := flag.NewFlagSet("cumulon-opt", flag.ContinueOnError)
+	file := fs.String("f", "", "program file (default: stdin)")
+	deadline := fs.Float64("deadline", 0, "deadline in seconds (minimize cost)")
+	budget := fs.Float64("budget", 0, "budget in dollars (minimize time)")
+	tile := fs.Int("tile", 2048, "tile size in elements")
+	density := fs.Float64("density", 0.05, "assumed density of sparse inputs")
+	maxNodes := fs.Int("max-nodes", 64, "largest cluster size to consider")
+	seed := fs.Int64("seed", 42, "calibration seed")
+	confidence := fs.Float64("confidence", 0,
 		"promise the deadline at this probability (e.g. 0.95) instead of in expectation")
-	showFrontier := flag.Bool("frontier", true, "print the time/cost Pareto frontier")
-	explain := flag.Bool("explain", false,
+	showFrontier := fs.Bool("frontier", true, "print the time/cost Pareto frontier")
+	explain := fs.Bool("explain", false,
 		"print an EXPLAIN report of the search (winner vs nearest rivals, per-term deltas, prune reasons)")
-	searchTrace := flag.String("searchtrace", "",
+	searchTrace := fs.String("searchtrace", "",
 		"write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
-	frontierSVG := flag.String("frontier-svg", "",
+	frontierSVG := fs.String("frontier-svg", "",
 		"write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
-	dumpRewrites := flag.Bool("dump-rewrites", false,
+	dumpRewrites := fs.Bool("dump-rewrites", false,
 		"report what the cross-statement CSE/hoisting pass eliminated from the program (also counted in the search trace as cse_chains / cse_flops_saved)")
-	chaosSpec := flag.String("chaos", "",
+	chaosSpec := fs.String("chaos", "",
 		"stress-test the recommendation: execute the chosen deployment under this fault schedule (e.g. \"seed=7,kill=0@120,taskfault=0.02\") and report the slowdown against the prediction")
-	flag.Parse()
-
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 	if (*deadline <= 0) == (*budget <= 0) {
 		return fmt.Errorf("specify exactly one of -deadline or -budget")
+	}
+	// Validate the chaos spec before the (expensive) search so a typo
+	// fails fast.
+	if _, err := chaos.Parse(*chaosSpec); err != nil {
+		return err
 	}
 	src, err := readSource(*file)
 	if err != nil {

@@ -31,60 +31,65 @@ import (
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
-	"cumulon/internal/linalg"
 	"cumulon/internal/obs"
 	"cumulon/internal/opt"
 	"cumulon/internal/plan"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cumulon:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	file := flag.String("f", "", "program file (default: stdin)")
-	machine := flag.String("machine", "m1.large", "machine type")
-	nodes := flag.Int("nodes", 8, "cluster size")
-	slots := flag.Int("slots", 2, "task slots per node")
-	tile := flag.Int("tile", 2048, "tile size in elements")
-	density := flag.Float64("density", 0.05, "assumed density of sparse inputs")
-	materialize := flag.Bool("materialize", false,
+func run(args []string) error {
+	fs := flag.NewFlagSet("cumulon", flag.ContinueOnError)
+	file := fs.String("f", "", "program file (default: stdin)")
+	machine := fs.String("machine", "m1.large", "machine type")
+	nodes := fs.Int("nodes", 8, "cluster size")
+	slots := fs.Int("slots", 2, "task slots per node")
+	tile := fs.Int("tile", 2048, "tile size in elements")
+	density := fs.Float64("density", 0.05, "assumed density of sparse inputs")
+	materialize := fs.Bool("materialize", false,
 		"compute real values on random inputs (small programs only) and print output stats")
-	seed := flag.Int64("seed", 42, "seed for data, placement and noise")
-	workers := flag.Int("workers", 0,
+	seed := fs.Int64("seed", 42, "seed for data, placement and noise")
+	workers := fs.Int("workers", 0,
 		"parallel compute workers for -materialize (capped at GOMAXPROCS; results are identical)")
-	showPlan := flag.Bool("plan", true, "print the compiled physical plan")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	dot := flag.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
-	traceOut := flag.String("trace", "",
+	showPlan := fs.Bool("plan", true, "print the compiled physical plan")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	dot := fs.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
+	traceOut := fs.String("trace", "",
 		"write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto; \"-\" for stdout)")
-	metricsOut := flag.String("metrics", "",
+	metricsOut := fs.String("metrics", "",
 		"write a Prometheus-style text metrics snapshot of the run to this file (\"-\" for stdout)")
-	timelineOut := flag.String("timeline", "",
+	timelineOut := fs.String("timeline", "",
 		"write the per-task timeline CSV to this file (\"-\" for stdout)")
-	critpath := flag.Bool("critpath", false, "print the critical-path analysis of the run")
-	optimize := flag.Bool("optimize", false,
+	critpath := fs.Bool("critpath", false, "print the critical-path analysis of the run")
+	optimize := fs.Bool("optimize", false,
 		"let the optimizer choose the deployment (machine type, nodes, slots, splits) instead of -machine/-nodes/-slots")
-	deadline := flag.Float64("deadline", 0,
+	deadline := fs.Float64("deadline", 0,
 		"with -optimize: deadline in seconds to minimize cost under (default 24h when no -budget is given)")
-	budget := flag.Float64("budget", 0, "with -optimize: budget in dollars to minimize time under")
-	confidence := flag.Float64("confidence", 0,
+	budget := fs.Float64("budget", 0, "with -optimize: budget in dollars to minimize time under")
+	confidence := fs.Float64("confidence", 0,
 		"with -optimize -deadline: promise the deadline at this probability (e.g. 0.95) instead of in expectation")
-	maxNodes := flag.Int("max-nodes", 64, "with -optimize: largest cluster size to consider")
-	explain := flag.Bool("explain", false,
+	maxNodes := fs.Int("max-nodes", 64, "with -optimize: largest cluster size to consider")
+	explain := fs.Bool("explain", false,
 		"with -optimize: print an EXPLAIN report of the search (winner vs nearest rivals, per-term deltas, prune reasons)")
-	searchTrace := flag.String("searchtrace", "",
+	searchTrace := fs.String("searchtrace", "",
 		"with -optimize: write the candidate-level search trace to this file (JSON, or CSV when the path ends in .csv; \"-\" for stdout)")
-	frontierOut := flag.String("frontier", "",
+	frontierOut := fs.String("frontier", "",
 		"with -optimize: write the time/cost Pareto frontier as SVG to this file (\"-\" for stdout)")
-	chaosSpec := flag.String("chaos", "",
+	chaosSpec := fs.String("chaos", "",
 		"inject a deterministic fault schedule, e.g. \"seed=7,kill=3@120,taskfault=0.02,readfault=0.01\" (kill=NODE@SECONDS repeats)")
-	maxRetries := flag.Int("max-retries", 0,
+	maxRetries := fs.Int("max-retries", 0,
 		"per-task retry budget under faults (0 = default of 3, negative = no retries)")
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 	if *asJSON {
 		*showPlan = false
 	}
@@ -205,7 +210,7 @@ func run() error {
 
 	opts := core.ExecOptions{Cluster: cluster, Workers: *workers, Chaos: sched, MaxTaskRetries: *maxRetries}
 	if *materialize {
-		opts.Inputs = randomInputs(prog, cfg, *seed)
+		opts.Inputs = core.RandomInputs(prog, cfg, *seed)
 	}
 	var tr *obs.Trace
 	if *traceOut != "" || *metricsOut != "" || *critpath {
@@ -349,22 +354,4 @@ func readSource(path string) (string, error) {
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
-}
-
-func randomInputs(prog *lang.Program, cfg plan.Config, seed int64) map[string]*linalg.Dense {
-	data := map[string]*linalg.Dense{}
-	for i, in := range prog.Inputs {
-		s := seed + int64(i)*7
-		if in.Sparse {
-			d := cfg.Densities[in.Name]
-			if d <= 0 || d > 1 {
-				d = 0.05
-			}
-			data[in.Name] = linalg.RandomSparseDense(in.Rows, in.Cols, d, s)
-		} else {
-			data[in.Name] = linalg.RandomDense(in.Rows, in.Cols, s).
-				Map(func(x float64) float64 { return x + 0.1 })
-		}
-	}
-	return data
 }

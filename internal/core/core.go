@@ -27,7 +27,15 @@ import (
 )
 
 // Session is the top-level handle. It caches calibrated cost models
-// across optimizer calls; create one per logical "user".
+// across optimizer calls.
+//
+// A Session is safe for concurrent use: Compile/CompileString are
+// stateless, every Run/RunDeployment/ExecutePlan builds its own engine
+// instance, and the only cross-call state — the optimizer's calibrated
+// model cache — is mutex-guarded (see opt.Optimizer). The job server
+// shares one Session across all tenants' worker goroutines; callers
+// that want isolated model caches instead can simply create one Session
+// per job (calibration is seeded, so sharing changes nothing but speed).
 type Session struct {
 	seed int64
 	optz *opt.Optimizer
@@ -139,6 +147,41 @@ func (s *Session) RunDeployment(p *lang.Program, cfg plan.Config, d *opt.Deploym
 		return nil, err
 	}
 	return s.execute(pl, d.Cluster, opts)
+}
+
+// ExecutePlan executes an already compiled (and already split) plan on
+// the given cluster. It is the execution half of Run for callers that
+// manage compilation themselves — the job server's plan cache compiles
+// once, Clones the template per job, applies splits, and executes the
+// clone here. The plan is treated as read-only.
+func (s *Session) ExecutePlan(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions) (*ExecResult, error) {
+	if pl == nil {
+		return nil, fmt.Errorf("core: nil plan")
+	}
+	return s.execute(pl, cluster, opts)
+}
+
+// RandomInputs generates deterministic positive random input matrices
+// for every input the program declares, honoring cfg.Densities for
+// sparse inputs. Both cmd/cumulon's -materialize mode and the job
+// server use it, so a program submitted to the server with the same
+// seed computes bit-identical outputs to a CLI run.
+func RandomInputs(prog *lang.Program, cfg plan.Config, seed int64) map[string]*linalg.Dense {
+	data := map[string]*linalg.Dense{}
+	for i, in := range prog.Inputs {
+		s := seed + int64(i)*7
+		if in.Sparse {
+			d := cfg.Densities[in.Name]
+			if d <= 0 || d > 1 {
+				d = 0.05
+			}
+			data[in.Name] = linalg.RandomSparseDense(in.Rows, in.Cols, d, s)
+		} else {
+			data[in.Name] = linalg.RandomDense(in.Rows, in.Cols, s).
+				Map(func(x float64) float64 { return x + 0.1 })
+		}
+	}
+	return data
 }
 
 func (s *Session) execute(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions) (*ExecResult, error) {

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry the same way twice — but with
+// label and observation orders shuffled between builds — so the golden
+// comparison proves the renderers sort rather than echo insertion
+// order.
+func buildRegistry(variant int) *Registry {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs by tenant")
+	g := r.Gauge("queue_depth", "queued jobs")
+	h := r.Histogram("wait_seconds", "queue wait", []float64{0.1, 1, 10})
+
+	tenants := []string{"acme", "zeta", "mid"}
+	if variant%2 == 1 {
+		tenants = []string{"zeta", "mid", "acme"}
+	}
+	// Same totals regardless of the add order.
+	amount := map[string]float64{"acme": 1, "zeta": 2, "mid": 3}
+	for _, tn := range tenants {
+		c.Add(amount[tn], Label{Key: "tenant", Value: tn})
+		c.Add(10, Label{Key: "tenant", Value: tn})
+	}
+	g.Set(7)
+	obs := []float64{0.05, 0.5, 5, 50}
+	if variant%2 == 1 {
+		obs = []float64{50, 5, 0.5, 0.05}
+	}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestRegistryTextByteStable: the Prometheus text rendering must be
+// byte-identical for identically populated registries, independent of
+// insertion order.
+func TestRegistryTextByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRegistry(0).Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRegistry(1).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("text rendering depends on insertion order:\nA:\n%s\nB:\n%s", a.String(), b.String())
+	}
+}
+
+// TestRegistryJSONByteStable: same for the JSON export the server
+// serves at /metrics.json.
+func TestRegistryJSONByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRegistry(0).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRegistry(1).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSON rendering depends on insertion order:\nA:\n%s\nB:\n%s", a.String(), b.String())
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("WriteJSON emitted invalid JSON:\n%s", a.String())
+	}
+	// Sorted label values must appear in sorted order in the byte stream.
+	out := a.String()
+	if strings.Index(out, "acme") > strings.Index(out, "zeta") {
+		t.Fatal("samples are not sorted by label")
+	}
+}
+
+// TestRegistryJSONGolden pins the exact shape of the JSON export so
+// accidental format drift (key renames, indent changes, map ordering)
+// fails loudly.
+func TestRegistryJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "requests").Add(3, Label{Key: "tenant", Value: "acme"})
+	r.Gauge("depth", "queue depth").Set(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "metrics": [
+    {
+      "name": "requests_total",
+      "type": "counter",
+      "help": "requests",
+      "samples": [
+        {
+          "labels": "{tenant=\"acme\"}",
+          "value": 3
+        }
+      ]
+    },
+    {
+      "name": "depth",
+      "type": "gauge",
+      "help": "queue depth",
+      "samples": [
+        {
+          "value": 2
+        }
+      ]
+    }
+  ]
+}
+`
+	if buf.String() != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -142,6 +143,71 @@ func (r *Registry) Write(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// metricJSON is the deterministic JSON rendering of one metric: series
+// are a sorted slice, never a map, so encoding is byte-stable across
+// runs and across Go map iteration orders.
+type metricJSON struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help"`
+	Samples []sampleJSON `json:"samples,omitempty"`
+	// Histogram fields (type == "histogram").
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+}
+
+type sampleJSON struct {
+	// Labels is the rendered label set, e.g. `{tenant="acme"}`; empty for
+	// the unlabeled series.
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+type bucketJSON struct {
+	LE         string `json:"le"` // upper bound ("+Inf" for the last)
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// WriteJSON renders the registry as deterministic JSON: metrics keep
+// registration order, labeled series within a metric are sorted by
+// label string, and histograms export cumulative bucket counts. Two
+// registries built by the same sequence of operations render
+// byte-identically (asserted by a golden test), so the job server can
+// serve the output to clients that diff or hash it.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := struct {
+		Metrics []metricJSON `json:"metrics"`
+	}{Metrics: []metricJSON{}}
+	for _, m := range r.metrics {
+		mj := metricJSON{Name: m.name, Type: m.typ, Help: m.help}
+		if m.typ == "histogram" {
+			cum := uint64(0)
+			for i, ub := range m.buckets {
+				cum += m.counts[i]
+				mj.Buckets = append(mj.Buckets, bucketJSON{LE: formatBound(ub), Cumulative: cum})
+			}
+			cum += m.counts[len(m.buckets)]
+			mj.Buckets = append(mj.Buckets, bucketJSON{LE: "+Inf", Cumulative: cum})
+			sum, n := m.sum, m.n
+			mj.Sum, mj.Count = &sum, &n
+		} else {
+			keys := make([]string, 0, len(m.samples))
+			for k := range m.samples {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				mj.Samples = append(mj.Samples, sampleJSON{Labels: k, Value: m.samples[k]})
+			}
+		}
+		out.Metrics = append(out.Metrics, mj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

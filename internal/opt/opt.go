@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"cumulon/internal/cloud"
 	"cumulon/internal/lang"
@@ -146,8 +147,17 @@ type Result struct {
 
 // Optimizer caches calibrated task-time models across searches (the
 // paper's benchmarking phase is per machine type, not per query).
+//
+// An Optimizer is safe for concurrent use: the model cache is the only
+// state shared between searches and it is mutex-guarded, so many
+// goroutines (the job server's workers) can run searches on one
+// Optimizer and share its calibrations. Each concurrent search should
+// supply its own SearchRecorder when it wants telemetry — a shared
+// SearchTrace interleaves candidates from concurrent searches.
 type Optimizer struct {
-	seed   int64
+	seed int64
+
+	mu     sync.Mutex
 	models map[string]*model.TaskModel
 }
 
@@ -165,18 +175,26 @@ func (o *Optimizer) ModelFor(mt cloud.MachineType, slots int) (*model.TaskModel,
 // modelFor is ModelFor reporting cache hits and misses to the search
 // recorder (the paper's benchmarking phase is the expensive part; the
 // hit rate shows the cache amortizing it across the search grid).
+// Calibration runs outside the lock; concurrent misses on the same key
+// may calibrate twice, but both compute the identical seeded model and
+// the second write is a no-op overwrite.
 func (o *Optimizer) modelFor(mt cloud.MachineType, slots int, rec SearchRecorder) (*model.TaskModel, error) {
 	key := fmt.Sprintf("%s/%d", mt.Name, slots)
+	o.mu.Lock()
 	if m, ok := o.models[key]; ok {
+		o.mu.Unlock()
 		rec.Count(CounterModelCacheHits, 1)
 		return m, nil
 	}
+	o.mu.Unlock()
 	rec.Count(CounterModelCacheMisses, 1)
 	res, err := model.Calibrate(mt, slots, o.seed)
 	if err != nil {
 		return nil, err
 	}
+	o.mu.Lock()
 	o.models[key] = res.Model
+	o.mu.Unlock()
 	return res.Model, nil
 }
 

@@ -1,0 +1,22 @@
+package plan
+
+// Clone returns a copy of the plan whose per-job mutable state (the
+// Split an engine or optimizer overwrites before execution) is
+// independent of the receiver. The immutable compiled artifacts —
+// expression trees, tile programs, leaf bindings, dependency lists and
+// the underlying program — are shared: they are never written after
+// Compile, so one compiled plan can serve as a read-only template from
+// which many concurrent executions each Clone their own instance (the
+// server's plan cache relies on this).
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	out := *p
+	out.Jobs = make([]*Job, len(p.Jobs))
+	for i, j := range p.Jobs {
+		cp := *j
+		out.Jobs[i] = &cp
+	}
+	return &out
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cumulon/internal/lang"
+	"cumulon/internal/opt"
+	"cumulon/internal/plan"
+)
+
+// PlanCache caches the compile and optimize work of the job service,
+// keyed by program hash × plan configuration. Identical resubmissions
+// — the common shape of statistical workloads, where many clients run
+// the same parameterized analysis — skip parsing, the CSE/lowering
+// passes, and (for optimized jobs) the whole deployment search.
+//
+// Cached plans are immutable templates: Compile returns the shared
+// *plan.Plan, and executors must Clone it before applying splits (see
+// plan.Clone). Cached deployments are returned as value copies.
+//
+// The cache is safe for concurrent use and single-flight per key: when
+// N jobs miss on the same key at once, one compiles and the rest wait
+// for its result.
+type PlanCache struct {
+	mu    sync.Mutex
+	plans map[string]*cacheEntry
+	deps  map[string]*depEntry
+
+	hits, misses       int64 // compile cache
+	depHits, depMisses int64 // deployment (optimizer) cache
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *lang.Program
+	plan *plan.Plan
+	err  error
+}
+
+type depEntry struct {
+	once sync.Once
+	dep  opt.Deployment
+	met  bool
+	err  error
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: map[string]*cacheEntry{}, deps: map[string]*depEntry{}}
+}
+
+// Key fingerprints a program source and plan configuration. The source
+// is hashed as written (whitespace and comments included — a textually
+// different program is a different key even when semantically equal);
+// the configuration folds in every field that changes the compiled
+// plan, with densities in sorted key order for determinism.
+func Key(source string, cfg plan.Config) string {
+	h := sha256.New()
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "tile=%d,reorder=%t,fusion=%t,cse=%t",
+		cfg.TileSize, !cfg.DisableReorder, !cfg.DisableFusion, !cfg.DisableCSE)
+	names := make([]string, 0, len(cfg.Densities))
+	for n := range cfg.Densities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, ",d:%s=%s", n, strconv.FormatFloat(cfg.Densities[n], 'g', -1, 64))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// depKey extends a plan key with the optimizer constraint, so the same
+// program optimized under a different deadline searches again.
+func depKey(planKey string, req opt.Request) string {
+	return planKey + "|" + strings.Join([]string{
+		strconv.FormatFloat(req.DeadlineSec, 'g', -1, 64),
+		strconv.FormatFloat(req.BudgetDollars, 'g', -1, 64),
+		strconv.FormatFloat(req.Confidence, 'g', -1, 64),
+		strconv.Itoa(req.MaxNodes),
+	}, "|")
+}
+
+// Compile returns the parsed program and compiled plan template for the
+// source under cfg, computing and caching them on first use. The
+// returned plan is shared and must be treated as read-only (Clone
+// before applying splits). The second return is the cache key, reusable
+// with Deployment.
+func (c *PlanCache) Compile(source string, cfg plan.Config) (*lang.Program, *plan.Plan, string, error) {
+	key := Key(source, cfg)
+	c.mu.Lock()
+	e, ok := c.plans[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.plans[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		prog, err := lang.Parse(source)
+		if err != nil {
+			e.err = err
+			return
+		}
+		pl, err := plan.Compile(prog, cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog, e.plan = prog, pl
+	})
+	if e.err != nil {
+		return nil, nil, key, e.err
+	}
+	return e.prog, e.plan, key, nil
+}
+
+// Deployment returns the optimizer's winner for the request, running
+// the search on first use and serving the cached decision afterwards.
+// planKey must come from Compile with the request's program and config.
+// search runs the search and returns its winner; it is only invoked on
+// a miss (single-flight).
+func (c *PlanCache) Deployment(planKey string, req opt.Request,
+	search func() (*opt.Deployment, bool, error)) (*opt.Deployment, bool, error) {
+	key := depKey(planKey, req)
+	c.mu.Lock()
+	e, ok := c.deps[key]
+	if ok {
+		c.depHits++
+	} else {
+		c.depMisses++
+		e = &depEntry{}
+		c.deps[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		d, met, err := search()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.dep, e.met = *d, met
+	})
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	d := e.dep // value copy: callers may not mutate the cached winner
+	return &d, e.met, nil
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	PlanHits   int64 `json:"plan_hits"`
+	PlanMisses int64 `json:"plan_misses"`
+	DepHits    int64 `json:"deployment_hits"`
+	DepMisses  int64 `json:"deployment_misses"`
+	Entries    int   `json:"entries"`
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		PlanHits: c.hits, PlanMisses: c.misses,
+		DepHits: c.depHits, DepMisses: c.depMisses,
+		Entries: len(c.plans) + len(c.deps),
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/opt"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for cluster capacity.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on a per-job engine instance.
+	StateRunning JobState = "running"
+	// StateSucceeded: finished; results and metrics are available.
+	StateSucceeded JobState = "succeeded"
+	// StateFailed: compilation or execution errored; Error is set.
+	StateFailed JobState = "failed"
+	// StateCanceled: canceled while queued (running jobs cannot be
+	// interrupted mid-engine; cancellation of a running job is refused).
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// SubmitRequest is the POST /v1/jobs body: a program in the textual
+// syntax plus the tenant, urgency and execution knobs.
+type SubmitRequest struct {
+	// Tenant names the submitting principal; fair share is accounted per
+	// tenant. Required.
+	Tenant string `json:"tenant"`
+	// Program is the source text (package lang syntax). Required.
+	Program string `json:"program"`
+	// Priority raises scheduling urgency (default 0, higher is sooner).
+	Priority float64 `json:"priority,omitempty"`
+
+	// Tile is the storage tile size (default 2048).
+	Tile int `json:"tile,omitempty"`
+	// Density estimates the nonzero fraction of sparse inputs
+	// (default 0.05).
+	Density float64 `json:"density,omitempty"`
+
+	// Machine/Nodes/Slots pick the job's cluster inside the server's
+	// shared capacity (defaults: the server's machine type, 4 nodes, the
+	// server's slots). Ignored when Optimize is set and the search picks
+	// the cluster.
+	Machine string `json:"machine,omitempty"`
+	Nodes   int    `json:"nodes,omitempty"`
+	Slots   int    `json:"slots,omitempty"`
+
+	// Optimize lets the cost-based optimizer choose the deployment.
+	// DeadlineSec minimizes cost under a deadline (default when neither
+	// constraint is set: 24h); BudgetDollars minimizes time under a
+	// budget; Confidence promises the deadline probabilistically.
+	// MaxNodes caps the search (and is itself capped by the server's
+	// capacity). The search result is cached by program hash × config ×
+	// constraint.
+	Optimize      bool    `json:"optimize,omitempty"`
+	DeadlineSec   float64 `json:"deadline_sec,omitempty"`
+	BudgetDollars float64 `json:"budget_dollars,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	MaxNodes      int     `json:"max_nodes,omitempty"`
+
+	// Materialize computes real values on deterministic random inputs
+	// (seeded by Seed) and exposes output digests; off, the run is
+	// virtual (timing and cost only).
+	Materialize bool `json:"materialize,omitempty"`
+	// Seed drives data generation, placement and noise (default: the
+	// server's seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// OutputInfo describes one output matrix of a materialized job. SHA256
+// digests the raw row-major little-endian float64 payload, so two runs
+// are bit-identical iff their digests match.
+type OutputInfo struct {
+	Name      string  `json:"name"`
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	Frobenius float64 `json:"frobenius"`
+	SHA256    string  `json:"sha256"`
+}
+
+// JobResult is the terminal outcome of a job.
+type JobResult struct {
+	// TotalSeconds is the simulated (virtual) makespan.
+	TotalSeconds float64 `json:"total_seconds"`
+	// CostDollars is the billed price on the job's cluster.
+	CostDollars float64 `json:"cost_dollars"`
+	TotalFlops  int64   `json:"total_flops"`
+	Jobs        int     `json:"plan_jobs"`
+	Tasks       int     `json:"plan_tasks"`
+	// Outputs lists materialized outputs sorted by name (empty for
+	// virtual runs).
+	Outputs []OutputInfo `json:"outputs,omitempty"`
+}
+
+// JobStatus is the client-visible view of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Tenant   string   `json:"tenant"`
+	State    JobState `json:"state"`
+	Priority float64  `json:"priority,omitempty"`
+	Cluster  string   `json:"cluster,omitempty"`
+	Nodes    int      `json:"nodes"`
+	// QueueWaitSec is the wall time between admission and start (final
+	// once running; live while queued).
+	QueueWaitSec float64 `json:"queue_wait_sec"`
+	// RunSec is the wall time executing (final once terminal).
+	RunSec float64 `json:"run_sec,omitempty"`
+	// PlanCacheHit reports whether compilation was served from the plan
+	// cache; DeploymentCacheHit likewise for the optimizer search.
+	PlanCacheHit       bool       `json:"plan_cache_hit"`
+	DeploymentCacheHit bool       `json:"deployment_cache_hit,omitempty"`
+	Error              string     `json:"error,omitempty"`
+	Result             *JobResult `json:"result,omitempty"`
+}
+
+// outputInfos digests materialized outputs, sorted by name.
+func outputInfos(outs map[string]*linalg.Dense) []OutputInfo {
+	names := make([]string, 0, len(outs))
+	for n := range outs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	infos := make([]OutputInfo, 0, len(names))
+	for _, n := range names {
+		d := outs[n]
+		infos = append(infos, OutputInfo{
+			Name: n, Rows: d.Rows, Cols: d.Cols,
+			Frobenius: d.FrobeniusNorm(),
+			SHA256:    DigestDense(d),
+		})
+	}
+	return infos
+}
+
+// DigestDense hashes a dense matrix's raw row-major little-endian
+// float64 payload. Equal digests mean bit-identical results.
+func DigestDense(d *linalg.Dense) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range d.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestOutputs digests a whole output set the way the server reports
+// it, so CLI-side runs can compare against server results.
+func DigestOutputs(outs map[string]*linalg.Dense) []OutputInfo { return outputInfos(outs) }
+
+func resultFrom(res *core.ExecResult) *JobResult {
+	tasks := 0
+	for _, j := range res.Metrics.Jobs {
+		tasks += j.Tasks
+	}
+	return &JobResult{
+		TotalSeconds: res.Metrics.TotalSeconds,
+		CostDollars:  res.CostDollars,
+		TotalFlops:   res.Metrics.TotalFlops,
+		Jobs:         len(res.Metrics.Jobs),
+		Tasks:        tasks,
+		Outputs:      outputInfos(res.Outputs),
+	}
+}
+
+// job is the server-internal record. All fields are written under the
+// server lock except prog and dep, which are immutable after Submit.
+type job struct {
+	id     string
+	req    SubmitRequest
+	prog   *lang.Program   // parsed at submit; immutable
+	dep    *opt.Deployment // optimizer's choice (nil for fixed clusters)
+	state  JobState
+	status JobStatus
+	// enqueued is the admission time on the server clock.
+	enqueued float64
+}
+
+// jobStore holds every job of the server's lifetime in memory, with
+// deterministic sequential IDs (j-000001, j-000002, ...) in admission
+// order.
+type jobStore struct {
+	jobs  map[string]*job
+	order []string
+	seq   int
+}
+
+func newJobStore() *jobStore { return &jobStore{jobs: map[string]*job{}} }
+
+// add registers a new job and assigns its ID.
+func (s *jobStore) add(req SubmitRequest) *job {
+	s.seq++
+	id := fmt.Sprintf("j-%06d", s.seq)
+	j := &job{id: id, req: req, state: StateQueued}
+	j.status = JobStatus{ID: id, Tenant: req.Tenant, State: StateQueued, Priority: req.Priority}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns job statuses in admission order, optionally filtered by
+// tenant and/or state.
+func (s *jobStore) list(tenant string, state JobState) []JobStatus {
+	out := []JobStatus{}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenant != "" && j.req.Tenant != tenant {
+			continue
+		}
+		if state != "" && j.state != state {
+			continue
+		}
+		out = append(out, j.status)
+	}
+	return out
+}

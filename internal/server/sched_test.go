@@ -1,0 +1,274 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// simJob is one synthetic job of a logical-clock scheduler simulation.
+type simJob struct {
+	job SchedJob
+	dur float64 // running time once started
+}
+
+// startRec records when a job started in the simulation.
+type startRec struct {
+	ID    string
+	Start float64
+}
+
+// runSim replays an arrival schedule against a FairScheduler over a
+// discrete logical clock: at each tick, finished jobs release nodes,
+// due arrivals are pushed, then the scheduler starts whatever fits.
+// Service is charged as dur×nodes on completion, mirroring the server.
+func runSim(t *testing.T, cfg SchedConfig, capacity int, jobs []simJob, horizon float64) []startRec {
+	t.Helper()
+	f := NewFairScheduler(cfg)
+	free := capacity
+	type runRec struct {
+		j   *SchedJob
+		end float64
+	}
+	var running []runRec
+	var starts []startRec
+	next := 0 // next arrival index (jobs sorted by Enqueued)
+	for now := 0.0; now <= horizon; now++ {
+		kept := running[:0]
+		for _, r := range running {
+			if r.end <= now {
+				free += r.j.Nodes
+				f.Charge(r.j.Tenant, (r.end-startOf(starts, r.j.ID))*float64(r.j.Nodes))
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		running = kept
+		for next < len(jobs) && jobs[next].job.Enqueued <= now {
+			f.Push(jobs[next].job)
+			next++
+		}
+		for {
+			sj := f.Next(free, now)
+			if sj == nil {
+				break
+			}
+			free -= sj.Nodes
+			starts = append(starts, startRec{ID: sj.ID, Start: now})
+			running = append(running, runRec{j: sj, end: now + durOf(jobs, sj.ID)})
+		}
+	}
+	return starts
+}
+
+func startOf(starts []startRec, id string) float64 {
+	for _, s := range starts {
+		if s.ID == id {
+			return s.Start
+		}
+	}
+	return 0
+}
+
+func durOf(jobs []simJob, id string) float64 {
+	for _, j := range jobs {
+		if j.job.ID == id {
+			return j.dur
+		}
+	}
+	return 1
+}
+
+// seededSchedule builds a random but reproducible arrival schedule:
+// nTenants tenants, jobsPer jobs each, arrivals over [0, span), widths
+// 1..maxNodes, durations 1..maxDur.
+func seededSchedule(seed int64, nTenants, jobsPer int, span float64, maxNodes, maxDur int) []simJob {
+	rng := rand.New(rand.NewSource(seed))
+	var jobs []simJob
+	for t := 0; t < nTenants; t++ {
+		tenant := fmt.Sprintf("t%d", t)
+		for k := 0; k < jobsPer; k++ {
+			jobs = append(jobs, simJob{
+				job: SchedJob{
+					ID:       fmt.Sprintf("%s-j%d", tenant, k),
+					Tenant:   tenant,
+					Nodes:    1 + rng.Intn(maxNodes),
+					Enqueued: float64(rng.Intn(int(span))),
+				},
+				dur: float64(1 + rng.Intn(maxDur)),
+			})
+		}
+	}
+	// Sort by arrival (stable on the generation order for ties).
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && jobs[j].job.Enqueued < jobs[j-1].job.Enqueued; j-- {
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+	return jobs
+}
+
+// TestSchedulerDeterministic replays the same seeded schedule twice and
+// requires the identical start order both times.
+func TestSchedulerDeterministic(t *testing.T) {
+	cfg := SchedConfig{Weights: map[string]float64{"t0": 2}}
+	jobs := seededSchedule(17, 3, 20, 30, 6, 4)
+	a := runSim(t, cfg, 8, jobs, 500)
+	b := runSim(t, cfg, 8, jobs, 500)
+	if len(a) != len(jobs) {
+		t.Fatalf("run A scheduled %d of %d jobs", len(a), len(jobs))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\nA: %v\nB: %v", a, b)
+	}
+}
+
+// TestSchedulerNoStarvation floods the cluster with a heavy tenant and
+// checks that a light tenant's jobs still start within a bounded wait —
+// the aging term must eventually beat any service deficit.
+func TestSchedulerNoStarvation(t *testing.T) {
+	var jobs []simJob
+	// Heavy tenant: 60 two-node jobs all arriving at t=0.
+	for k := 0; k < 60; k++ {
+		jobs = append(jobs, simJob{
+			job: SchedJob{ID: fmt.Sprintf("heavy-j%d", k), Tenant: "heavy", Nodes: 2},
+			dur: 3,
+		})
+	}
+	// Light tenant: one job arriving late, after heavy has banked service.
+	jobs = append(jobs, simJob{
+		job: SchedJob{ID: "light-j0", Tenant: "light", Nodes: 2, Enqueued: 10},
+		dur: 1,
+	})
+	starts := runSim(t, SchedConfig{}, 4, jobs, 1000)
+	if len(starts) != len(jobs) {
+		t.Fatalf("scheduled %d of %d jobs: starvation", len(starts), len(jobs))
+	}
+	maxWait := 0.0
+	for _, s := range starts {
+		var enq float64
+		for _, j := range jobs {
+			if j.job.ID == s.ID {
+				enq = j.job.Enqueued
+			}
+		}
+		if w := s.Start - enq; w > maxWait {
+			maxWait = w
+		}
+	}
+	// 60 jobs × 3s / (4 nodes / 2 per job) = 90s of backlog; every wait
+	// must stay within the drain time — nobody waits forever.
+	if maxWait > 120 {
+		t.Fatalf("max wait %.0fs exceeds bound", maxWait)
+	}
+	// The light job specifically must not wait behind the whole heavy
+	// backlog: fresh tenants have zero banked service and rank first.
+	lightWait := startOf(starts, "light-j0") - 10
+	if lightWait > 10 {
+		t.Fatalf("light tenant waited %.0fs behind the heavy backlog", lightWait)
+	}
+}
+
+// TestSchedulerWeightedShares saturates the cluster with two tenants
+// and checks the 2:1 weight ratio shows up in service shares.
+func TestSchedulerWeightedShares(t *testing.T) {
+	var jobs []simJob
+	for k := 0; k < 40; k++ {
+		jobs = append(jobs,
+			simJob{job: SchedJob{ID: fmt.Sprintf("gold-j%d", k), Tenant: "gold", Nodes: 2}, dur: 2},
+			simJob{job: SchedJob{ID: fmt.Sprintf("econ-j%d", k), Tenant: "econ", Nodes: 2}, dur: 2},
+		)
+	}
+	cfg := SchedConfig{Weights: map[string]float64{"gold": 2, "econ": 1}, AgingRate: 0.001}
+	f := NewFairScheduler(cfg)
+	// Drive directly (single-node-at-a-time) to watch the share evolve.
+	for _, j := range jobs {
+		f.Push(j.job)
+	}
+	goldRuns, econRuns := 0, 0
+	now := 0.0
+	for i := 0; i < 60; i++ { // more demand than slots: contention
+		sj := f.Next(2, now)
+		if sj == nil {
+			break
+		}
+		f.Charge(sj.Tenant, durOf(jobs, sj.ID)*float64(sj.Nodes))
+		if sj.Tenant == "gold" {
+			goldRuns++
+		} else {
+			econRuns++
+		}
+		now += durOf(jobs, sj.ID)
+	}
+	if goldRuns+econRuns == 0 {
+		t.Fatal("nothing ran")
+	}
+	ratio := float64(goldRuns) / float64(econRuns)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("gold:econ run ratio %.2f (gold %d, econ %d); want ≈2 for weights 2:1", ratio, goldRuns, econRuns)
+	}
+}
+
+// TestSchedulerPriorityBoost: a high-priority job outranks an earlier
+// same-tenant job.
+func TestSchedulerPriorityBoost(t *testing.T) {
+	f := NewFairScheduler(SchedConfig{})
+	f.Push(SchedJob{ID: "routine", Tenant: "a", Nodes: 1, Enqueued: 0})
+	f.Push(SchedJob{ID: "urgent", Tenant: "a", Nodes: 1, Enqueued: 5, Priority: 2})
+	if sj := f.Next(1, 6); sj == nil || sj.ID != "urgent" {
+		t.Fatalf("want urgent first, got %+v", sj)
+	}
+	if sj := f.Next(1, 6); sj == nil || sj.ID != "routine" {
+		t.Fatalf("want routine second, got %+v", sj)
+	}
+}
+
+// TestSchedulerReservation: once a wide job has waited ReserveAfterSec,
+// narrow jobs stop backfilling around it.
+func TestSchedulerReservation(t *testing.T) {
+	f := NewFairScheduler(SchedConfig{ReserveAfterSec: 10, AgingRate: 0.001})
+	// Wide job wants the whole cluster; one node is busy elsewhere.
+	f.Push(SchedJob{ID: "wide", Tenant: "big", Nodes: 4, Enqueued: 0})
+	f.Push(SchedJob{ID: "narrow1", Tenant: "small", Nodes: 1, Enqueued: 1})
+	f.Push(SchedJob{ID: "narrow2", Tenant: "small", Nodes: 1, Enqueued: 1})
+	// Give small some banked service so wide ranks first.
+	f.Charge("small", 100)
+
+	// Before the reservation kicks in, narrow jobs backfill the 3 free
+	// nodes around the wide job.
+	if sj := f.Next(3, 2); sj == nil || sj.ID != "narrow1" {
+		t.Fatalf("want narrow1 backfilled, got %+v", sj)
+	}
+	// Past ReserveAfterSec the wide job blocks further backfilling.
+	if sj := f.Next(3, 20); sj != nil {
+		t.Fatalf("want reservation (nil), got %+v", sj)
+	}
+	// When the cluster drains, the wide job runs.
+	if sj := f.Next(4, 21); sj == nil || sj.ID != "wide" {
+		t.Fatalf("want wide after drain, got %+v", sj)
+	}
+	// And the remaining narrow job follows.
+	if sj := f.Next(1, 22); sj == nil || sj.ID != "narrow2" {
+		t.Fatalf("want narrow2 last, got %+v", sj)
+	}
+}
+
+// TestSchedulerRemove: canceling a queued job removes exactly it.
+func TestSchedulerRemove(t *testing.T) {
+	f := NewFairScheduler(SchedConfig{})
+	f.Push(SchedJob{ID: "a", Tenant: "t", Nodes: 1})
+	f.Push(SchedJob{ID: "b", Tenant: "t", Nodes: 1})
+	if !f.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if f.Remove("a") {
+		t.Fatal("Remove(a) twice = true")
+	}
+	if got := f.Depth(); got != 1 {
+		t.Fatalf("depth %d after remove, want 1", got)
+	}
+	if sj := f.Next(1, 0); sj == nil || sj.ID != "b" {
+		t.Fatalf("want b, got %+v", sj)
+	}
+}

@@ -1,0 +1,680 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/core"
+	"cumulon/internal/lang"
+	"cumulon/internal/obs"
+	"cumulon/internal/opt"
+	"cumulon/internal/plan"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Machine is the shared cluster's machine type (default m1.large).
+	Machine string
+	// Nodes is the shared cluster's node capacity (default 16): the sum
+	// of all running jobs' cluster sizes never exceeds it. A submission
+	// asking for more nodes than this is rejected outright.
+	Nodes int
+	// Slots is the default task slots per node for jobs that don't ask
+	// (default 2).
+	Slots int
+	// Seed is the server's default seed for jobs that don't supply one
+	// (default 42).
+	Seed int64
+	// DefaultJobNodes sizes jobs that don't ask (default 4, capped at
+	// Nodes).
+	DefaultJobNodes int
+	// MaxQueue bounds the admission queue; submissions beyond it get 429
+	// (default 1024).
+	MaxQueue int
+	// Workers is the per-job compute parallelism for materialized runs
+	// (0 = sequential).
+	Workers int
+	// Sched tunes the fair-share scheduler (weights, aging, reservation).
+	Sched SchedConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == "" {
+		c.Machine = "m1.large"
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.DefaultJobNodes <= 0 {
+		c.DefaultJobNodes = 4
+	}
+	if c.DefaultJobNodes > c.Nodes {
+		c.DefaultJobNodes = c.Nodes
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	return c
+}
+
+// Server is the cumulond job service. Create with New, serve Handler()
+// over HTTP, and Close when done. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	machine cloud.MachineType
+	sess    *core.Session
+	cache   *PlanCache
+	start   time.Time
+
+	mu        sync.Mutex
+	store     *jobStore
+	sched     *FairScheduler
+	freeNodes int
+	running   int
+	closed    bool
+
+	maxWait map[string]float64 // per-tenant max queue wait seen
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup // scheduler loop + running jobs
+
+	// Metrics (registry writes are guarded by mu).
+	reg            *obs.Registry
+	mSubmitted     *obs.Counter
+	mCompleted     *obs.Counter
+	mFailed        *obs.Counter
+	mCanceled      *obs.Counter
+	mQueueWaitSum  *obs.Counter
+	mQueueWaitMax  *obs.Gauge
+	mQueueWaitHist *obs.Histogram
+	mCost          *obs.Counter
+	mVirtualSec    *obs.Counter
+	mService       *obs.Counter
+	mCacheHits     *obs.Gauge
+	mCacheMisses   *obs.Gauge
+	mDepHits       *obs.Gauge
+	mDepMisses     *obs.Gauge
+	mRunning       *obs.Gauge
+	mQueueDepth    *obs.Gauge
+	mFreeNodes     *obs.Gauge
+}
+
+// New builds a server and starts its scheduler loop.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	mt, err := cloud.TypeByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		machine:   mt,
+		sess:      core.NewSession(cfg.Seed),
+		cache:     NewPlanCache(),
+		start:     time.Now(),
+		store:     newJobStore(),
+		sched:     NewFairScheduler(cfg.Sched),
+		freeNodes: cfg.Nodes,
+		maxWait:   map[string]float64{},
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		reg:       obs.NewRegistry(),
+	}
+	r := s.reg
+	s.mSubmitted = r.Counter("cumulond_jobs_submitted_total", "jobs admitted, by tenant")
+	s.mCompleted = r.Counter("cumulond_jobs_completed_total", "jobs finished successfully, by tenant")
+	s.mFailed = r.Counter("cumulond_jobs_failed_total", "jobs that errored, by tenant")
+	s.mCanceled = r.Counter("cumulond_jobs_canceled_total", "jobs canceled while queued, by tenant")
+	s.mQueueWaitSum = r.Counter("cumulond_queue_wait_seconds_total", "cumulative admission-to-start wait, by tenant")
+	s.mQueueWaitMax = r.Gauge("cumulond_queue_wait_max_seconds", "largest admission-to-start wait seen, by tenant")
+	s.mQueueWaitHist = r.Histogram("cumulond_queue_wait_seconds", "admission-to-start wait distribution (all tenants)",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120})
+	s.mCost = r.Counter("cumulond_cost_dollars_total", "simulated dollars billed, by tenant")
+	s.mVirtualSec = r.Counter("cumulond_virtual_seconds_total", "simulated program seconds executed, by tenant")
+	s.mService = r.Counter("cumulond_service_slot_seconds_total", "fair-share service charged (virtual slot-seconds), by tenant")
+	s.mCacheHits = r.Gauge("cumulond_plan_cache_hits", "plan cache hits (compile served from cache)")
+	s.mCacheMisses = r.Gauge("cumulond_plan_cache_misses", "plan cache misses (programs compiled)")
+	s.mDepHits = r.Gauge("cumulond_deployment_cache_hits", "optimizer deployment cache hits")
+	s.mDepMisses = r.Gauge("cumulond_deployment_cache_misses", "optimizer searches run (deployment cache misses)")
+	s.mRunning = r.Gauge("cumulond_jobs_running", "jobs currently executing")
+	s.mQueueDepth = r.Gauge("cumulond_queue_depth", "jobs waiting for capacity")
+	s.mFreeNodes = r.Gauge("cumulond_nodes_free", "unallocated nodes of the shared cluster")
+
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Close stops scheduling, waits for running jobs to finish, and leaves
+// queued jobs queued.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// now is the server clock: seconds since start.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// signal wakes the scheduler loop (non-blocking; the channel carries no
+// data, only "state changed").
+func (s *Server) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop admits queued jobs whenever capacity or queue state changes.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wake:
+		}
+		s.mu.Lock()
+		for {
+			sj := s.sched.Next(s.freeNodes, s.now())
+			if sj == nil {
+				break
+			}
+			j := s.store.jobs[sj.ID]
+			if j == nil || j.state != StateQueued { // canceled after Push
+				continue
+			}
+			j.state = StateRunning
+			j.status.State = StateRunning
+			j.status.QueueWaitSec = s.now() - sj.Enqueued
+			s.freeNodes -= sj.Nodes
+			s.running++
+			s.observeStart(j.req.Tenant, j.status.QueueWaitSec)
+			s.wg.Add(1)
+			go s.runJob(j, sj)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) observeStart(tenant string, wait float64) {
+	l := obs.Label{Key: "tenant", Value: tenant}
+	s.mQueueWaitSum.Add(wait, l)
+	s.mQueueWaitHist.Observe(wait)
+	if wait > s.maxWait[tenant] {
+		s.maxWait[tenant] = wait
+		s.mQueueWaitMax.Set(wait, l)
+	}
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// planConfig builds the job's plan configuration from its request and
+// the parsed program's sparse inputs.
+func planConfig(prog *lang.Program, req SubmitRequest) plan.Config {
+	cfg := plan.Config{TileSize: req.Tile, Densities: map[string]float64{}}
+	for _, in := range prog.Inputs {
+		if in.Sparse {
+			cfg.Densities[in.Name] = req.Density
+		}
+	}
+	return cfg
+}
+
+// Submit validates, admits and enqueues a job, returning its status
+// snapshot. It is the programmatic form of POST /v1/jobs. For
+// optimizing jobs the deployment search runs here (cache-fronted), so
+// the job's cluster size is known to the admission controller.
+func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
+	if req.Tenant == "" {
+		return JobStatus{}, badRequest("admission: tenant is required")
+	}
+	if req.Program == "" {
+		return JobStatus{}, badRequest("admission: program is required")
+	}
+	if req.Tile == 0 {
+		req.Tile = 2048
+	}
+	if req.Tile < 0 {
+		return JobStatus{}, badRequest("admission: tile must be positive, got %d", req.Tile)
+	}
+	if req.Density == 0 {
+		req.Density = 0.05
+	}
+	if req.Machine == "" {
+		req.Machine = s.cfg.Machine
+	}
+	if req.Machine != s.cfg.Machine {
+		return JobStatus{}, badRequest("admission: cluster is %s; per-job machine types are not supported", s.cfg.Machine)
+	}
+	if req.Slots == 0 {
+		req.Slots = s.cfg.Slots
+	}
+	if req.Slots < 0 {
+		return JobStatus{}, badRequest("admission: slots must be positive, got %d", req.Slots)
+	}
+	if req.Nodes == 0 {
+		req.Nodes = s.cfg.DefaultJobNodes
+	}
+	if req.Nodes < 0 {
+		return JobStatus{}, badRequest("admission: nodes must be positive, got %d", req.Nodes)
+	}
+	if req.Seed == 0 {
+		req.Seed = s.cfg.Seed
+	}
+	prog, err := lang.Parse(req.Program)
+	if err != nil {
+		return JobStatus{}, badRequest("admission: %v", err)
+	}
+	if _, err := prog.Validate(); err != nil {
+		return JobStatus{}, badRequest("admission: %v", err)
+	}
+
+	var dep *opt.Deployment
+	depHit := false
+	if req.Optimize {
+		if req.DeadlineSec > 0 && req.BudgetDollars > 0 {
+			return JobStatus{}, badRequest("admission: specify at most one of deadline_sec and budget_dollars")
+		}
+		if req.DeadlineSec <= 0 && req.BudgetDollars <= 0 {
+			req.DeadlineSec = 24 * 3600
+		}
+		if req.MaxNodes <= 0 || req.MaxNodes > s.cfg.Nodes {
+			req.MaxNodes = s.cfg.Nodes
+		}
+		cfg := planConfig(prog, req)
+		oreq := opt.Request{
+			Program: prog, PlanCfg: cfg,
+			DeadlineSec: req.DeadlineSec, BudgetDollars: req.BudgetDollars,
+			Confidence: req.Confidence, MaxNodes: req.MaxNodes,
+			Machines: []cloud.MachineType{s.machine},
+		}
+		var met bool
+		dep, met, depHit, err = s.searchDeployment(req.Program, cfg, oreq)
+		if err != nil {
+			return JobStatus{}, badRequest("optimize: %v", err)
+		}
+		if !met {
+			return JobStatus{}, badRequest("optimize: constraint not satisfiable within %d nodes (closest: %s)", req.MaxNodes, dep)
+		}
+		req.Nodes = dep.Cluster.Nodes
+		req.Slots = dep.Cluster.Slots
+	}
+	if req.Nodes > s.cfg.Nodes {
+		return JobStatus{}, badRequest("admission: job wants %d nodes, cluster capacity is %d", req.Nodes, s.cfg.Nodes)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, &apiError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	if s.sched.Depth() >= s.cfg.MaxQueue {
+		return JobStatus{}, &apiError{code: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("admission: queue full (%d jobs)", s.cfg.MaxQueue)}
+	}
+	j := s.store.add(req)
+	j.prog = prog
+	j.dep = dep
+	j.enqueued = s.now()
+	j.status.Nodes = req.Nodes
+	j.status.DeploymentCacheHit = depHit
+	s.sched.Push(SchedJob{
+		ID: j.id, Tenant: req.Tenant, Priority: req.Priority,
+		Nodes: req.Nodes, Enqueued: j.enqueued,
+	})
+	s.mSubmitted.Add(1, obs.Label{Key: "tenant", Value: req.Tenant})
+	s.signal()
+	return j.status, nil
+}
+
+// searchDeployment runs the cache-fronted optimizer search.
+func (s *Server) searchDeployment(source string, cfg plan.Config, oreq opt.Request) (*opt.Deployment, bool, bool, error) {
+	planKey := Key(source, cfg)
+	before := s.cache.Stats().DepHits
+	dep, met, err := s.cache.Deployment(planKey, oreq, func() (*opt.Deployment, bool, error) {
+		var res *opt.Result
+		var err error
+		if oreq.DeadlineSec > 0 {
+			res, err = s.sess.Optimizer().MinCostForDeadline(oreq)
+		} else {
+			res, err = s.sess.Optimizer().MinTimeForBudget(oreq)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return res.Best, res.Met, nil
+	})
+	hit := s.cache.Stats().DepHits > before
+	return dep, met, hit, err
+}
+
+// runJob executes one admitted job on its own engine instance and
+// records the outcome.
+func (s *Server) runJob(j *job, sj *SchedJob) {
+	defer s.wg.Done()
+	started := time.Now()
+	res, clusterStr, planHit, err := s.executeJob(j)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.status.RunSec = time.Since(started).Seconds()
+	j.status.Cluster = clusterStr
+	j.status.PlanCacheHit = planHit
+	l := obs.Label{Key: "tenant", Value: j.req.Tenant}
+	if err != nil {
+		j.state = StateFailed
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+		s.mFailed.Add(1, l)
+	} else {
+		j.state = StateSucceeded
+		j.status.State = StateSucceeded
+		j.status.Result = resultFrom(res)
+		service := res.Metrics.TotalSeconds * float64(sj.Nodes) * float64(j.req.Slots)
+		s.sched.Charge(j.req.Tenant, service)
+		s.mCompleted.Add(1, l)
+		s.mCost.Add(res.CostDollars, l)
+		s.mVirtualSec.Add(res.Metrics.TotalSeconds, l)
+		s.mService.Add(service, l)
+	}
+	s.freeNodes += sj.Nodes
+	s.running--
+	s.signal()
+}
+
+// executeJob does the cache-fronted compile and the engine run, outside
+// the server lock.
+func (s *Server) executeJob(j *job) (*core.ExecResult, string, bool, error) {
+	req := j.req
+	cfg := planConfig(j.prog, req)
+	before := s.cache.Stats().PlanHits
+	prog, tmpl, _, err := s.cache.Compile(req.Program, cfg)
+	if err != nil {
+		return nil, "", false, err
+	}
+	planHit := s.cache.Stats().PlanHits > before
+
+	pl := tmpl.Clone()
+	var cluster cloud.Cluster
+	if j.dep != nil {
+		cluster = j.dep.Cluster
+		if err := j.dep.Apply(pl); err != nil {
+			return nil, cluster.String(), planHit, err
+		}
+	} else {
+		cluster, err = cloud.NewCluster(s.machine, req.Nodes, req.Slots)
+		if err != nil {
+			return nil, "", planHit, err
+		}
+		pl.AutoSplit(cluster.TotalSlots())
+	}
+	opts := core.ExecOptions{
+		Cluster: cluster,
+		Seed:    req.Seed,
+		Workers: s.cfg.Workers,
+	}
+	if req.Materialize {
+		opts.Inputs = core.RandomInputs(prog, cfg, req.Seed)
+	}
+	res, err := s.sess.ExecutePlan(pl, cluster, opts)
+	return res, cluster.String(), planHit, err
+}
+
+// Cancel cancels a queued job. Running and terminal jobs are refused.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.store.get(id)
+	if !ok {
+		return JobStatus{}, &apiError{code: http.StatusNotFound, msg: fmt.Sprintf("no job %s", id)}
+	}
+	switch j.state {
+	case StateQueued:
+		s.sched.Remove(id)
+		j.state = StateCanceled
+		j.status.State = StateCanceled
+		s.mCanceled.Add(1, obs.Label{Key: "tenant", Value: j.req.Tenant})
+		return j.status, nil
+	case StateRunning:
+		return JobStatus{}, &apiError{code: http.StatusConflict, msg: fmt.Sprintf("job %s is running and cannot be interrupted", id)}
+	default:
+		return JobStatus{}, &apiError{code: http.StatusConflict, msg: fmt.Sprintf("job %s is already %s", id, j.state)}
+	}
+}
+
+// Status returns a job's status snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.store.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	st := j.status
+	if j.state == StateQueued {
+		st.QueueWaitSec = s.now() - j.enqueued // live wait so far
+	}
+	return st, true
+}
+
+// List returns job statuses in admission order, optionally filtered.
+func (s *Server) List(tenant string, state JobState) []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.list(tenant, state)
+}
+
+// TenantStats is the per-tenant slice of /v1/stats.
+type TenantStats struct {
+	Tenant    string  `json:"tenant"`
+	Weight    float64 `json:"weight"`
+	Service   float64 `json:"service_slot_seconds"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	Canceled  int     `json:"canceled"`
+	Running   int     `json:"running"`
+	Queued    int     `json:"queued"`
+	MaxWait   float64 `json:"max_queue_wait_sec"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	UptimeSec  float64       `json:"uptime_sec"`
+	Machine    string        `json:"machine"`
+	Capacity   int           `json:"capacity_nodes"`
+	FreeNodes  int           `json:"free_nodes"`
+	Running    int           `json:"running"`
+	QueueDepth int           `json:"queue_depth"`
+	Cache      CacheStats    `json:"cache"`
+	Tenants    []TenantStats `json:"tenants"`
+}
+
+// StatsSnapshot assembles the live stats.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		UptimeSec: s.now(), Machine: s.cfg.Machine,
+		Capacity: s.cfg.Nodes, FreeNodes: s.freeNodes,
+		Running: s.running, QueueDepth: s.sched.Depth(),
+		Cache:   s.cache.Stats(),
+		Tenants: []TenantStats{},
+	}
+	byTenant := map[string]*TenantStats{}
+	var names []string
+	for _, id := range s.store.order {
+		j := s.store.jobs[id]
+		t := byTenant[j.req.Tenant]
+		if t == nil {
+			t = &TenantStats{
+				Tenant: j.req.Tenant,
+				Weight: s.sched.Weight(j.req.Tenant),
+			}
+			byTenant[j.req.Tenant] = t
+			names = append(names, j.req.Tenant)
+		}
+		t.Submitted++
+		switch j.state {
+		case StateSucceeded:
+			t.Completed++
+		case StateFailed:
+			t.Failed++
+		case StateCanceled:
+			t.Canceled++
+		case StateRunning:
+			t.Running++
+		case StateQueued:
+			t.Queued++
+		}
+		if w := j.status.QueueWaitSec; j.state != StateQueued && w > t.MaxWait {
+			t.MaxWait = w
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := byTenant[n]
+		t.Service = s.sched.Service(n)
+		st.Tenants = append(st.Tenants, *t)
+	}
+	return st
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs           submit (SubmitRequest JSON -> JobStatus)
+//	GET    /v1/jobs           list (?tenant=, ?state=)
+//	GET    /v1/jobs/{id}      status
+//	GET    /v1/jobs/{id}/result  terminal result (409 until terminal)
+//	DELETE /v1/jobs/{id}      cancel a queued job
+//	GET    /v1/stats          scheduler/cache/tenant stats (JSON)
+//	GET    /metrics           Prometheus text metrics
+//	GET    /metrics.json      deterministic JSON metrics
+//	GET    /healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, badRequest("bad request body: %v", err))
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List(r.URL.Query().Get("tenant"), JobState(r.URL.Query().Get("state"))))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, &apiError{code: http.StatusNotFound, msg: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, &apiError{code: http.StatusNotFound, msg: "no such job"})
+			return
+		}
+		if !st.State.Terminal() {
+			writeErr(w, &apiError{code: http.StatusConflict, msg: fmt.Sprintf("job is %s", st.State)})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.refreshGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.Write(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.refreshGauges()
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// refreshGauges sets the point-in-time gauges before a metrics render.
+// Callers hold s.mu.
+func (s *Server) refreshGauges() {
+	cs := s.cache.Stats()
+	s.mCacheHits.Set(float64(cs.PlanHits))
+	s.mCacheMisses.Set(float64(cs.PlanMisses))
+	s.mDepHits.Set(float64(cs.DepHits))
+	s.mDepMisses.Set(float64(cs.DepMisses))
+	s.mRunning.Set(float64(s.running))
+	s.mQueueDepth.Set(float64(s.sched.Depth()))
+	s.mFreeNodes.Set(float64(s.freeNodes))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if ae, ok := err.(*apiError); ok {
+		code = ae.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

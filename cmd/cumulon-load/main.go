@@ -34,6 +34,7 @@ func run(args []string, out io.Writer) error {
 	maxWait := fs.Float64("max-wait", 0, "override the spec's starvation bound in seconds (0 = spec value)")
 	requireHits := fs.Bool("require-cache-hits", false, "fail unless the plan cache served at least one hit")
 	jsonOut := fs.Bool("json", false, "print the report as JSON instead of a table")
+	tail := fs.Bool("tail", false, "consume each job's event stream (long-poll) instead of polling status")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +54,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *maxWait > 0 {
 		spec.MaxWaitSec = *maxWait
+	}
+	if *tail {
+		spec.Tail = true
 	}
 
 	rep, err := server.RunLoad(strings.TrimRight(*serverURL, "/"), spec)

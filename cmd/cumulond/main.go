@@ -39,6 +39,11 @@ func run(args []string, out io.Writer) error {
 	boost := fs.Float64("priority-boost", 100, "service units of head start per priority point")
 	reserve := fs.Float64("reserve-after", 60, "seconds before a wide job blocks backfilling (starvation bound)")
 	maxQueue := fs.Int("max-queue", 1024, "admission queue bound (429 beyond it)")
+	cacheSize := fs.Int("cache-size", 256, "plan+deployment cache entry bound (LRU eviction beyond it)")
+	jobHistory := fs.Int("job-history", 512, "terminal jobs retained before the oldest are pruned")
+	artifactHistory := fs.Int("artifact-history", 64, "finished jobs that keep retained trace/critpath/metrics/explain artifacts")
+	eventBuffer := fs.Int("event-buffer", 4096, "per-job event ring-buffer size")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	srv, err := server.New(server.Config{
 		Machine: *machine, Nodes: *nodes, Slots: *slots,
 		Seed: *seed, Workers: *workers, MaxQueue: *maxQueue,
+		CacheSize: *cacheSize, JobHistory: *jobHistory,
+		ArtifactHistory: *artifactHistory, EventBuffer: *eventBuffer,
+		Pprof: *pprofFlag,
 		Sched: server.SchedConfig{
 			Weights: w, AgingRate: *aging,
 			PriorityBoost: *boost, ReserveAfterSec: *reserve,

@@ -1,0 +1,83 @@
+package obs
+
+import "math"
+
+// LogBuckets returns fixed log-spaced histogram bounds spanning
+// 10^minExp .. 10^maxExp with perDecade bounds per decade, each rounded
+// to three significant digits so the rendered bound strings are short
+// and byte-stable. The job service's latency histograms all share one
+// such layout (LatencyBuckets), which keeps every tenant's series
+// directly comparable and the Prometheus/JSON renderings deterministic.
+func LogBuckets(minExp, maxExp, perDecade int) []float64 {
+	if perDecade <= 0 {
+		perDecade = 1
+	}
+	var out []float64
+	for k := minExp * perDecade; k <= maxExp*perDecade; k++ {
+		out = append(out, round3(math.Pow(10, float64(k)/float64(perDecade))))
+	}
+	return out
+}
+
+// round3 rounds to three significant digits.
+func round3(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	exp := math.Floor(math.Log10(math.Abs(v)))
+	scale := math.Pow(10, exp-2)
+	return math.Round(v/scale) * scale
+}
+
+// LatencyBuckets is the standard latency layout of the job service:
+// 1ms to 1000s, three buckets per decade (…, 0.1, 0.215, 0.464, 1, …).
+// Queue-wait, compile, run and end-to-end histograms all use it.
+var LatencyBuckets = LogBuckets(-3, 3, 3)
+
+// QuantileFromBuckets estimates the q-quantile (0 < q < 1) of a
+// histogram from its bucket upper bounds and *cumulative* counts
+// (len(cumulative) == len(bounds)+1; the last entry is the +Inf
+// bucket's total). The estimate interpolates linearly inside the target
+// bucket, Prometheus histogram_quantile style: the true quantile is
+// somewhere in the bucket, and a uniform within-bucket assumption is
+// the standard answer. Returns 0 for an empty histogram; a rank landing
+// in the +Inf bucket returns the largest finite bound. Clients
+// consuming /metrics.json (the load generator's SLO report) share this
+// exact computation with the server-side HistSeries.Quantile.
+func QuantileFromBuckets(bounds []float64, cumulative []uint64, q float64) float64 {
+	if len(cumulative) == 0 || len(cumulative) != len(bounds)+1 {
+		return 0
+	}
+	total := cumulative[len(cumulative)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, ub := range bounds {
+		if float64(cumulative[i]) >= rank {
+			lo := 0.0
+			prev := uint64(0)
+			if i > 0 {
+				lo = bounds[i-1]
+				prev = cumulative[i-1]
+			}
+			in := cumulative[i] - prev
+			if in == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(prev))/float64(in)
+		}
+	}
+	// Rank falls in the +Inf bucket: the best bounded answer is the
+	// largest finite bound.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}

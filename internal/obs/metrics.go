@@ -25,10 +25,8 @@ type metric struct {
 	name, help, typ string
 	samples         map[string]float64 // label-string -> value
 	// histogram state (typ == "histogram")
-	buckets []float64 // upper bounds, ascending
-	counts  []uint64  // per-bucket (non-cumulative) counts
-	sum     float64
-	n       uint64
+	buckets []float64              // upper bounds, ascending
+	hseries map[string]*HistSeries // label-string -> series (lazy; "" is unlabeled)
 }
 
 // NewRegistry returns an empty registry.
@@ -56,11 +54,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // Histogram declares (or fetches) a distribution metric with the given
 // ascending bucket upper bounds (an implicit +Inf bucket is added).
+// Series — the unlabeled default and any labeled ones fetched with With
+// — materialize lazily on first observation.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	m := r.metricNamed(name, help, "histogram")
 	if m.buckets == nil {
 		m.buckets = append([]float64(nil), buckets...)
-		m.counts = make([]uint64, len(buckets)+1)
+		m.hseries = map[string]*HistSeries{}
 	}
 	return &Histogram{m: m}
 }
@@ -81,21 +81,74 @@ func (g *Gauge) Set(v float64, labels ...Label) {
 	g.m.samples[labelKey(labels)] = v
 }
 
-// Histogram observes a distribution.
+// Histogram observes a distribution. A histogram holds one series per
+// label set; With returns a series handle whose Observe is
+// allocation-free, so hot paths fetch the handle once and record into
+// it directly (benchmark-guarded in CI).
 type Histogram struct{ m *metric }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	m := h.m
-	m.sum += v
-	m.n++
-	for i, ub := range m.buckets {
+// With returns (creating on first use) the series for the label set.
+// The lookup builds a label key, so callers on hot paths cache the
+// returned handle instead of calling With per observation.
+func (h *Histogram) With(labels ...Label) *HistSeries {
+	key := labelKey(labels)
+	s, ok := h.m.hseries[key]
+	if !ok {
+		s = &HistSeries{bounds: h.m.buckets, counts: make([]uint64, len(h.m.buckets)+1)}
+		h.m.hseries[key] = s
+	}
+	return s
+}
+
+// Observe records one sample into the unlabeled series.
+func (h *Histogram) Observe(v float64) { h.With().Observe(v) }
+
+// HistSeries is one labeled series of a Histogram.
+type HistSeries struct {
+	bounds []float64 // shared with the parent metric
+	counts []uint64  // per-bucket (non-cumulative); last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample. It allocates nothing.
+func (s *HistSeries) Observe(v float64) {
+	s.sum += v
+	s.n++
+	for i, ub := range s.bounds {
 		if v <= ub {
-			m.counts[i]++
+			s.counts[i]++
 			return
 		}
 	}
-	m.counts[len(m.buckets)]++
+	s.counts[len(s.bounds)]++
+}
+
+// Count returns the number of recorded samples.
+func (s *HistSeries) Count() uint64 { return s.n }
+
+// Sum returns the sum of recorded samples.
+func (s *HistSeries) Sum() float64 { return s.sum }
+
+// Buckets returns the bucket upper bounds and a copy of the
+// per-bucket (non-cumulative) counts; the extra last count is the +Inf
+// bucket.
+func (s *HistSeries) Buckets() (bounds []float64, counts []uint64) {
+	return s.bounds, append([]uint64(nil), s.counts...)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts
+// by linear interpolation inside the target bucket, Prometheus
+// histogram_quantile style. It returns 0 when the series is empty; a
+// rank landing in the +Inf bucket returns the largest finite bound.
+func (s *HistSeries) Quantile(q float64) float64 {
+	cum := make([]uint64, len(s.counts))
+	var c uint64
+	for i, v := range s.counts {
+		c += v
+		cum[i] = c
+	}
+	return QuantileFromBuckets(s.bounds, cum, q)
 }
 
 func labelKey(labels []Label) string {
@@ -117,26 +170,32 @@ func (r *Registry) Write(w io.Writer) error {
 			return err
 		}
 		if m.typ == "histogram" {
-			cum := uint64(0)
-			for i, ub := range m.buckets {
-				cum += m.counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(ub), cum); err != nil {
+			for _, key := range sortedKeys(m.hseries) {
+				s := m.hseries[key]
+				// inner is the series' labels ready to prefix the le label:
+				// "" for the unlabeled series, `tenant="a",` for `{tenant="a"}`.
+				inner := ""
+				if key != "" {
+					inner = key[1:len(key)-1] + ","
+				}
+				cum := uint64(0)
+				for i, ub := range s.bounds {
+					cum += s.counts[i]
+					if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", m.name, inner, formatBound(ub), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.counts[len(s.bounds)]
+				if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+					m.name, inner, cum,
+					m.name, key, formatValue(s.sum),
+					m.name, key, s.n); err != nil {
 					return err
 				}
 			}
-			cum += m.counts[len(m.buckets)]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-				m.name, cum, m.name, formatValue(m.sum), m.name, m.n); err != nil {
-				return err
-			}
 			continue
 		}
-		keys := make([]string, 0, len(m.samples))
-		for k := range m.samples {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range sortedKeys(m.samples) {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, k, formatValue(m.samples[k])); err != nil {
 				return err
 			}
@@ -153,10 +212,20 @@ type metricJSON struct {
 	Type    string       `json:"type"`
 	Help    string       `json:"help"`
 	Samples []sampleJSON `json:"samples,omitempty"`
-	// Histogram fields (type == "histogram").
-	Buckets []bucketJSON `json:"buckets,omitempty"`
-	Sum     *float64     `json:"sum,omitempty"`
-	Count   *uint64      `json:"count,omitempty"`
+	// Histogram fields (type == "histogram"): the unlabeled series
+	// renders at the top level, labeled series under Series.
+	Buckets []bucketJSON     `json:"buckets,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	Count   *uint64          `json:"count,omitempty"`
+	Series  []histSeriesJSON `json:"series,omitempty"`
+}
+
+// histSeriesJSON is one labeled histogram series in the JSON export.
+type histSeriesJSON struct {
+	Labels  string       `json:"labels"`
+	Buckets []bucketJSON `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   uint64       `json:"count"`
 }
 
 type sampleJSON struct {
@@ -184,22 +253,20 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	for _, m := range r.metrics {
 		mj := metricJSON{Name: m.name, Type: m.typ, Help: m.help}
 		if m.typ == "histogram" {
-			cum := uint64(0)
-			for i, ub := range m.buckets {
-				cum += m.counts[i]
-				mj.Buckets = append(mj.Buckets, bucketJSON{LE: formatBound(ub), Cumulative: cum})
+			for _, key := range sortedKeys(m.hseries) {
+				s := m.hseries[key]
+				if key == "" {
+					mj.Buckets = cumulativeBuckets(s)
+					sum, n := s.sum, s.n
+					mj.Sum, mj.Count = &sum, &n
+					continue
+				}
+				mj.Series = append(mj.Series, histSeriesJSON{
+					Labels: key, Buckets: cumulativeBuckets(s), Sum: s.sum, Count: s.n,
+				})
 			}
-			cum += m.counts[len(m.buckets)]
-			mj.Buckets = append(mj.Buckets, bucketJSON{LE: "+Inf", Cumulative: cum})
-			sum, n := m.sum, m.n
-			mj.Sum, mj.Count = &sum, &n
 		} else {
-			keys := make([]string, 0, len(m.samples))
-			for k := range m.samples {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
+			for _, k := range sortedKeys(m.samples) {
 				mj.Samples = append(mj.Samples, sampleJSON{Labels: k, Value: m.samples[k]})
 			}
 		}
@@ -208,6 +275,30 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// cumulativeBuckets renders one series' bucket counts cumulatively,
+// with the trailing +Inf bucket.
+func cumulativeBuckets(s *HistSeries) []bucketJSON {
+	out := make([]bucketJSON, 0, len(s.bounds)+1)
+	cum := uint64(0)
+	for i, ub := range s.bounds {
+		cum += s.counts[i]
+		out = append(out, bucketJSON{LE: formatBound(ub), Cumulative: cum})
+	}
+	cum += s.counts[len(s.bounds)]
+	return append(out, bucketJSON{LE: "+Inf", Cumulative: cum})
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+
+	"cumulon/internal/obs"
+)
+
+// artifactSet holds a finished job's retained observability artifacts.
+// Each is rendered once, at job completion (explain at submit), from
+// the job's private obs.Trace, so the bytes are deterministic for a
+// fixed program/config/seed: the Chrome trace in particular is
+// byte-identical to what `cumulon -trace` writes for the same run.
+// Only the artifacts the submission opted into are non-nil.
+type artifactSet struct {
+	trace    []byte // Chrome trace-event JSON (chrome://tracing)
+	critpath []byte // critical-path report (text)
+	metrics  []byte // per-run metrics snapshot (Prometheus text)
+	explain  []byte // optimizer EXPLAIN report (text)
+}
+
+// empty reports whether nothing was retained.
+func (a *artifactSet) empty() bool {
+	return a == nil || (a.trace == nil && a.critpath == nil && a.metrics == nil && a.explain == nil)
+}
+
+// renderArtifacts renders the opted-in artifacts from a finished run's
+// trace. Render errors become the artifact's body rather than failing
+// the job: the run itself succeeded, and a readable error is more
+// operable than a 500.
+func renderArtifacts(req SubmitRequest, tr *obs.Trace, explain []byte) *artifactSet {
+	a := &artifactSet{explain: explain}
+	if tr != nil && req.Trace {
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			a.trace = []byte(fmt.Sprintf("trace export failed: %v\n", err))
+		} else {
+			a.trace = buf.Bytes()
+		}
+	}
+	if tr != nil && req.Critpath {
+		var buf bytes.Buffer
+		cp, err := tr.CriticalPath()
+		if err == nil {
+			err = cp.Write(&buf)
+		}
+		if err != nil {
+			a.critpath = []byte(fmt.Sprintf("critical-path analysis failed: %v\n", err))
+		} else {
+			a.critpath = buf.Bytes()
+		}
+	}
+	if tr != nil && req.Metrics {
+		var buf bytes.Buffer
+		if err := obs.Snapshot(tr).Write(&buf); err != nil {
+			a.metrics = []byte(fmt.Sprintf("metrics snapshot failed: %v\n", err))
+		} else {
+			a.metrics = buf.Bytes()
+		}
+	}
+	if a.empty() {
+		return nil
+	}
+	return a
+}

@@ -27,17 +27,28 @@ import (
 // The cache is safe for concurrent use and single-flight per key: when
 // N jobs miss on the same key at once, one compiles and the rest wait
 // for its result.
+//
+// The cache is bounded: when the combined plan+deployment entry count
+// exceeds maxEntries, the least-recently-used entry is evicted (an LRU
+// over a logical access clock — no wall time, so behavior is
+// deterministic for a fixed request sequence). Evicted entries that are
+// still being awaited by in-flight jobs stay valid for those holders;
+// they just stop being findable for reuse.
 type PlanCache struct {
-	mu    sync.Mutex
-	plans map[string]*cacheEntry
-	deps  map[string]*depEntry
+	mu         sync.Mutex
+	maxEntries int
+	tick       int64 // logical access clock for LRU ordering
+	plans      map[string]*cacheEntry
+	deps       map[string]*depEntry
 
 	hits, misses       int64 // compile cache
 	depHits, depMisses int64 // deployment (optimizer) cache
+	evictions          int64 // entries dropped by the LRU bound
 }
 
 type cacheEntry struct {
 	once sync.Once
+	used int64 // last access tick (guarded by PlanCache.mu)
 	prog *lang.Program
 	plan *plan.Plan
 	err  error
@@ -45,14 +56,55 @@ type cacheEntry struct {
 
 type depEntry struct {
 	once sync.Once
+	used int64 // last access tick (guarded by PlanCache.mu)
 	dep  opt.Deployment
 	met  bool
 	err  error
 }
 
-// NewPlanCache returns an empty cache.
-func NewPlanCache() *PlanCache {
-	return &PlanCache{plans: map[string]*cacheEntry{}, deps: map[string]*depEntry{}}
+// NewPlanCache returns an empty cache holding at most maxEntries
+// plan+deployment entries (<= 0 means the default of 256).
+func NewPlanCache(maxEntries int) *PlanCache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &PlanCache{
+		maxEntries: maxEntries,
+		plans:      map[string]*cacheEntry{},
+		deps:       map[string]*depEntry{},
+	}
+}
+
+// evictLocked drops least-recently-used entries until the bound holds.
+// Callers hold c.mu.
+func (c *PlanCache) evictLocked() {
+	for len(c.plans)+len(c.deps) > c.maxEntries {
+		var (
+			oldKey  string
+			oldTick int64
+			isDep   bool
+			found   bool
+		)
+		for k, e := range c.plans {
+			if !found || e.used < oldTick {
+				oldKey, oldTick, isDep, found = k, e.used, false, true
+			}
+		}
+		for k, e := range c.deps {
+			if !found || e.used < oldTick {
+				oldKey, oldTick, isDep, found = k, e.used, true, true
+			}
+		}
+		if !found {
+			return
+		}
+		if isDep {
+			delete(c.deps, oldKey)
+		} else {
+			delete(c.plans, oldKey)
+		}
+		c.evictions++
+	}
 }
 
 // Key fingerprints a program source and plan configuration. The source
@@ -96,6 +148,7 @@ func depKey(planKey string, req opt.Request) string {
 func (c *PlanCache) Compile(source string, cfg plan.Config) (*lang.Program, *plan.Plan, string, error) {
 	key := Key(source, cfg)
 	c.mu.Lock()
+	c.tick++
 	e, ok := c.plans[key]
 	if ok {
 		c.hits++
@@ -104,6 +157,8 @@ func (c *PlanCache) Compile(source string, cfg plan.Config) (*lang.Program, *pla
 		e = &cacheEntry{}
 		c.plans[key] = e
 	}
+	e.used = c.tick
+	c.evictLocked()
 	c.mu.Unlock()
 	e.once.Do(func() {
 		prog, err := lang.Parse(source)
@@ -133,6 +188,7 @@ func (c *PlanCache) Deployment(planKey string, req opt.Request,
 	search func() (*opt.Deployment, bool, error)) (*opt.Deployment, bool, error) {
 	key := depKey(planKey, req)
 	c.mu.Lock()
+	c.tick++
 	e, ok := c.deps[key]
 	if ok {
 		c.depHits++
@@ -141,6 +197,8 @@ func (c *PlanCache) Deployment(planKey string, req opt.Request,
 		e = &depEntry{}
 		c.deps[key] = e
 	}
+	e.used = c.tick
+	c.evictLocked()
 	c.mu.Unlock()
 	e.once.Do(func() {
 		d, met, err := search()
@@ -164,6 +222,7 @@ type CacheStats struct {
 	DepHits    int64 `json:"deployment_hits"`
 	DepMisses  int64 `json:"deployment_misses"`
 	Entries    int   `json:"entries"`
+	Evictions  int64 `json:"evictions"`
 }
 
 // Stats snapshots the hit/miss counters.
@@ -173,6 +232,7 @@ func (c *PlanCache) Stats() CacheStats {
 	return CacheStats{
 		PlanHits: c.hits, PlanMisses: c.misses,
 		DepHits: c.depHits, DepMisses: c.depMisses,
-		Entries: len(c.plans) + len(c.deps),
+		Entries:   len(c.plans) + len(c.deps),
+		Evictions: c.evictions,
 	}
 }

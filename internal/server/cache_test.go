@@ -21,7 +21,7 @@ func testCfg() plan.Config {
 // TestPlanCacheHitMiss: first compile misses, resubmission hits and
 // returns the identical template.
 func TestPlanCacheHitMiss(t *testing.T) {
-	c := NewPlanCache()
+	c := NewPlanCache(0)
 	src, cfg := gnmfSource(), testCfg()
 	_, p1, key1, err := c.Compile(src, cfg)
 	if err != nil {
@@ -81,7 +81,7 @@ func TestPlanCacheKeySensitivity(t *testing.T) {
 // TestPlanCacheSingleFlight: N concurrent misses on one key compile
 // exactly once.
 func TestPlanCacheSingleFlight(t *testing.T) {
-	c := NewPlanCache()
+	c := NewPlanCache(0)
 	src, cfg := gnmfSource(), testCfg()
 	const n = 16
 	var wg sync.WaitGroup
@@ -116,7 +116,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 // TestDeploymentCache: the search callback runs once per distinct
 // constraint; a different deadline searches again.
 func TestDeploymentCache(t *testing.T) {
-	c := NewPlanCache()
+	c := NewPlanCache(0)
 	src, cfg := gnmfSource(), testCfg()
 	_, _, key, err := c.Compile(src, cfg)
 	if err != nil {
@@ -153,7 +153,7 @@ func TestDeploymentCache(t *testing.T) {
 // TestPlanCacheCompileError: a bad program caches its error and does
 // not poison the stats.
 func TestPlanCacheCompileError(t *testing.T) {
-	c := NewPlanCache()
+	c := NewPlanCache(0)
 	if _, _, _, err := c.Compile("this is not a program", testCfg()); err == nil {
 		t.Fatal("want parse error")
 	}

@@ -81,6 +81,25 @@ type SubmitRequest struct {
 	// Seed drives data generation, placement and noise (default: the
 	// server's seed).
 	Seed int64 `json:"seed,omitempty"`
+
+	// Trace retains the job's Chrome trace (GET /v1/jobs/{id}/trace),
+	// byte-identical to `cumulon -trace` for the same
+	// program/config/seed. Critpath retains the critical-path report and
+	// Metrics the per-run metrics snapshot (Prometheus text). Explain
+	// retains the optimizer's EXPLAIN report and requires Optimize; it
+	// forces a fresh search (the deployment cache is bypassed) so the
+	// report reflects this submission.
+	Trace    bool `json:"trace,omitempty"`
+	Critpath bool `json:"critpath,omitempty"`
+	Metrics  bool `json:"metrics,omitempty"`
+	Explain  bool `json:"explain,omitempty"`
+
+	// Chaos injects a deterministic fault schedule into the run
+	// (internal/chaos spec syntax, e.g. "kill:node=3@t=10"); retry and
+	// crash recovery show up in the job's event stream. MaxRetries
+	// bounds per-task retry attempts under faults (0 = engine default).
+	Chaos      string `json:"chaos,omitempty"`
+	MaxRetries int    `json:"max_retries,omitempty"`
 }
 
 // OutputInfo describes one output matrix of a materialized job. SHA256
@@ -180,7 +199,8 @@ func resultFrom(res *core.ExecResult) *JobResult {
 }
 
 // job is the server-internal record. All fields are written under the
-// server lock except prog and dep, which are immutable after Submit.
+// server lock except prog, dep and events, which are immutable after
+// Submit (the event log has its own lock).
 type job struct {
 	id     string
 	req    SubmitRequest
@@ -190,15 +210,25 @@ type job struct {
 	status JobStatus
 	// enqueued is the admission time on the server clock.
 	enqueued float64
+	// events is the job's lifecycle event stream (never nil).
+	events *eventLog
+	// explain is the rendered optimizer EXPLAIN report (submissions with
+	// Explain set), produced at submit time; immutable.
+	explain []byte
+	// artifacts holds retained post-run artifacts (nil until the job
+	// finishes, and again after artifact-retention eviction).
+	artifacts *artifactSet
 }
 
-// jobStore holds every job of the server's lifetime in memory, with
-// deterministic sequential IDs (j-000001, j-000002, ...) in admission
-// order.
+// jobStore holds the server's jobs in memory with deterministic
+// sequential IDs (j-000001, j-000002, ...) in admission order. Old
+// terminal jobs beyond a retention cap are pruned (see prune), so the
+// store stays bounded under sustained traffic.
 type jobStore struct {
-	jobs  map[string]*job
-	order []string
-	seq   int
+	jobs   map[string]*job
+	order  []string // sorted: IDs are zero-padded and assigned in order
+	seq    int
+	pruned int64 // total jobs removed by retention
 }
 
 func newJobStore() *jobStore { return &jobStore{jobs: map[string]*job{}} }
@@ -219,6 +249,39 @@ func (s *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
+// prune drops the oldest terminal jobs until at most keep terminal jobs
+// remain, returning how many were removed. Queued and running jobs are
+// never pruned. keep <= 0 disables pruning.
+func (s *jobStore) prune(keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	removed := 0
+	if terminal <= keep {
+		return 0
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if terminal > keep && j.state.Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			removed++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	s.pruned += int64(removed)
+	return removed
+}
+
 // list returns job statuses in admission order, optionally filtered by
 // tenant and/or state.
 func (s *jobStore) list(tenant string, state JobState) []JobStatus {
@@ -234,4 +297,40 @@ func (s *jobStore) list(tenant string, state JobState) []JobStatus {
 		out = append(out, j.status)
 	}
 	return out
+}
+
+// listPage returns up to limit job statuses with IDs strictly greater
+// than after (empty = from the start), plus the cursor to pass as the
+// next page's after ("" when this page exhausts the store). The scan
+// starts at the cursor via binary search, so a page costs O(log n +
+// scanned), not O(store).
+func (s *jobStore) listPage(tenant string, state JobState, after string, limit int) ([]JobStatus, string) {
+	if limit <= 0 {
+		limit = 100
+	}
+	start := 0
+	if after != "" {
+		start = sort.SearchStrings(s.order, after)
+		if start < len(s.order) && s.order[start] == after {
+			start++
+		}
+	}
+	out := []JobStatus{}
+	for i := start; i < len(s.order); i++ {
+		j := s.jobs[s.order[i]]
+		if tenant != "" && j.req.Tenant != tenant {
+			continue
+		}
+		if state != "" && j.state != state {
+			continue
+		}
+		out = append(out, j.status)
+		if len(out) == limit {
+			if i+1 < len(s.order) {
+				return out, s.order[i]
+			}
+			break
+		}
+	}
+	return out, ""
 }

@@ -7,10 +7,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"cumulon/internal/obs"
 	"cumulon/internal/workloads"
 )
 
@@ -27,6 +31,9 @@ type LoadSpec struct {
 	MaxWaitSec float64 `json:"max_wait_sec,omitempty"`
 	// PollMs is the status poll interval (default 10).
 	PollMs int `json:"poll_ms,omitempty"`
+	// Tail makes clients consume each job's event stream (long-poll
+	// /v1/jobs/{id}/events) to completion instead of polling status.
+	Tail bool `json:"tail,omitempty"`
 	// JobTimeoutSec bounds one job's submit-to-terminal wall time
 	// (default 300).
 	JobTimeoutSec float64      `json:"job_timeout_sec,omitempty"`
@@ -210,6 +217,12 @@ type TenantReport struct {
 	// saturation. Comparable when all tenants keep the cluster busy.
 	ServiceShare float64 `json:"service_share"`
 	WeightShare  float64 `json:"weight_share"`
+	// E2E latency quantiles (seconds) from the server's per-tenant
+	// cumulond_e2e_seconds histogram, so CI can assert SLOs on the same
+	// numbers /metrics serves.
+	P50Sec float64 `json:"e2e_p50_sec"`
+	P95Sec float64 `json:"e2e_p95_sec"`
+	P99Sec float64 `json:"e2e_p99_sec"`
 }
 
 // LoadReport is the result of one load run.
@@ -294,6 +307,10 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 			rep.Starved = append(rep.Starved, o)
 		}
 	}
+	quantiles, err := fetchE2EQuantiles(client, baseURL)
+	if err != nil {
+		return nil, err
+	}
 	sort.Strings(names)
 	for _, n := range names {
 		tr := byTenant[n]
@@ -306,9 +323,73 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 		if totalWeight > 0 {
 			tr.WeightShare = weightOf[n] / totalWeight
 		}
+		if q, ok := quantiles[n]; ok {
+			tr.P50Sec, tr.P95Sec, tr.P99Sec = q[0], q[1], q[2]
+		}
 		rep.Tenants = append(rep.Tenants, *tr)
 	}
 	return rep, nil
+}
+
+// fetchE2EQuantiles reads /metrics.json and computes each tenant's
+// p50/p95/p99 from the cumulond_e2e_seconds histogram series — the same
+// interpolation the server's dashboard uses (obs.QuantileFromBuckets).
+func fetchE2EQuantiles(client *http.Client, baseURL string) (map[string][3]float64, error) {
+	var dump struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Series []struct {
+				Labels  string `json:"labels"`
+				Buckets []struct {
+					LE         string `json:"le"`
+					Cumulative uint64 `json:"cumulative"`
+				} `json:"buckets"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := getJSON(client, baseURL+"/metrics.json", &dump); err != nil {
+		return nil, err
+	}
+	out := map[string][3]float64{}
+	for _, m := range dump.Metrics {
+		if m.Name != "cumulond_e2e_seconds" {
+			continue
+		}
+		for _, s := range m.Series {
+			tenant, ok := tenantOfLabels(s.Labels)
+			if !ok {
+				continue
+			}
+			bounds := make([]float64, 0, len(s.Buckets))
+			cum := make([]uint64, 0, len(s.Buckets))
+			for _, b := range s.Buckets {
+				if b.LE != "+Inf" {
+					v, err := strconv.ParseFloat(b.LE, 64)
+					if err != nil {
+						return nil, fmt.Errorf("metrics.json: bad bucket bound %q: %w", b.LE, err)
+					}
+					bounds = append(bounds, v)
+				}
+				cum = append(cum, b.Cumulative)
+			}
+			out[tenant] = [3]float64{
+				obs.QuantileFromBuckets(bounds, cum, 0.50),
+				obs.QuantileFromBuckets(bounds, cum, 0.95),
+				obs.QuantileFromBuckets(bounds, cum, 0.99),
+			}
+		}
+	}
+	return out, nil
+}
+
+// tenantOfLabels extracts the tenant from a label string like
+// `{tenant="acme"}`.
+func tenantOfLabels(labels string) (string, bool) {
+	const prefix = `{tenant="`
+	if !strings.HasPrefix(labels, prefix) || !strings.HasSuffix(labels, `"}`) {
+		return "", false
+	}
+	return labels[len(prefix) : len(labels)-2], true
 }
 
 // pickMix draws one mix entry by weight.
@@ -350,6 +431,17 @@ func runOne(client *http.Client, baseURL string, lj LoadJob, t TenantLoad, spec 
 	}
 	out.ID = st.ID
 	deadline := time.Now().Add(time.Duration(spec.JobTimeoutSec * float64(time.Second)))
+	if spec.Tail {
+		if err := tailEvents(client, baseURL, st.ID, deadline); err != nil {
+			out.State, out.Error = StateFailed, err.Error()
+			return out
+		}
+		// The stream is complete; one status fetch gets the outcome.
+		if err := getJSON(client, baseURL+"/v1/jobs/"+st.ID, &st); err != nil {
+			out.State, out.Error = StateFailed, err.Error()
+			return out
+		}
+	}
 	for !st.State.Terminal() {
 		if time.Now().After(deadline) {
 			out.State, out.Error = StateFailed, fmt.Sprintf("job %s timed out after %.0fs in state %s", st.ID, spec.JobTimeoutSec, st.State)
@@ -365,6 +457,35 @@ func runOne(client *http.Client, baseURL string, lj LoadJob, t TenantLoad, spec 
 	out.WaitSec = st.QueueWaitSec
 	out.Error = st.Error
 	return out
+}
+
+// tailEvents consumes a job's event stream by long-poll until the
+// terminal event, verifying the resume contract as it goes: every page
+// continues exactly at the cursor the previous page returned.
+func tailEvents(client *http.Client, baseURL, id string, deadline time.Time) error {
+	since := 0
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s: event stream not done by the job timeout", id)
+		}
+		var page EventPage
+		u := baseURL + "/v1/jobs/" + id + "/events?wait=5&since=" + url.QueryEscape(strconv.Itoa(since))
+		if err := getJSON(client, u, &page); err != nil {
+			return err
+		}
+		for _, ev := range page.Events {
+			if ev.Seq != since {
+				return fmt.Errorf("job %s: event gap: got seq %d at cursor %d", id, ev.Seq, since)
+			}
+			since++
+		}
+		if page.Next != since {
+			return fmt.Errorf("job %s: server cursor %d disagrees with consumed %d", id, page.Next, since)
+		}
+		if page.Done {
+			return nil
+		}
+	}
 }
 
 func fetchStats(client *http.Client, baseURL string) (*Stats, error) {
@@ -417,12 +538,12 @@ func decodeResponse(resp *http.Response, into any) error {
 // Write renders the report as a human-readable per-tenant table.
 func (r *LoadReport) Write(w io.Writer) error {
 	fmt.Fprintf(w, "load run: %.1fs wall\n", r.DurationSec)
-	fmt.Fprintf(w, "%-12s %9s %9s %6s %10s %10s %9s %9s\n",
-		"tenant", "submitted", "completed", "failed", "maxwait(s)", "meanwait(s)", "svc-share", "wt-share")
+	fmt.Fprintf(w, "%-12s %9s %9s %6s %10s %10s %8s %8s %9s %9s\n",
+		"tenant", "submitted", "completed", "failed", "maxwait(s)", "meanwait(s)", "p50(s)", "p95(s)", "svc-share", "wt-share")
 	for _, t := range r.Tenants {
-		fmt.Fprintf(w, "%-12s %9d %9d %6d %10.3f %10.3f %8.1f%% %8.1f%%\n",
+		fmt.Fprintf(w, "%-12s %9d %9d %6d %10.3f %10.3f %8.3f %8.3f %8.1f%% %8.1f%%\n",
 			t.Tenant, t.Submitted, t.Completed, t.Failed,
-			t.MaxWaitSec, t.MeanWaitSec, 100*t.ServiceShare, 100*t.WeightShare)
+			t.MaxWaitSec, t.MeanWaitSec, t.P50Sec, t.P95Sec, 100*t.ServiceShare, 100*t.WeightShare)
 	}
 	fmt.Fprintf(w, "plan cache: %d hits, %d misses; deployment cache: %d hits, %d misses\n",
 		r.Cache.PlanHits, r.Cache.PlanMisses, r.Cache.DepHits, r.Cache.DepMisses)

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"cumulon/internal/chaos"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
@@ -41,6 +45,22 @@ type Config struct {
 	Workers int
 	// Sched tunes the fair-share scheduler (weights, aging, reservation).
 	Sched SchedConfig
+	// CacheSize bounds the combined plan+deployment cache entry count;
+	// least-recently-used entries are evicted beyond it (default 256).
+	CacheSize int
+	// JobHistory bounds retained terminal jobs: the oldest finished jobs
+	// beyond it are pruned from the store (default 512).
+	JobHistory int
+	// ArtifactHistory bounds how many finished jobs keep their retained
+	// artifacts (trace/critpath/metrics/explain); older artifact sets
+	// are dropped first (default 64).
+	ArtifactHistory int
+	// EventBuffer bounds each job's event ring buffer (default 4096).
+	// Overflowing events are evicted oldest-first; consumers resuming
+	// below the retained window get 410 Gone.
+	EventBuffer int
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +85,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
 	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 512
+	}
+	if c.ArtifactHistory <= 0 {
+		c.ArtifactHistory = 64
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 4096
+	}
 	return c
 }
 
@@ -86,6 +118,15 @@ type Server struct {
 	closed    bool
 
 	maxWait map[string]float64 // per-tenant max queue wait seen
+	// artifactOrder lists jobs with retained artifacts, oldest first;
+	// beyond cfg.ArtifactHistory the oldest set is dropped.
+	artifactOrder []string
+	// tenantHists caches per-tenant histogram series handles so the
+	// record path is map-free after first use.
+	tenantHists map[string]*tenantSeries
+	// lastEvictions tracks the cache eviction count already folded into
+	// the evictions counter.
+	lastEvictions int64
 
 	wake chan struct{}
 	quit chan struct{}
@@ -110,6 +151,34 @@ type Server struct {
 	mRunning       *obs.Gauge
 	mQueueDepth    *obs.Gauge
 	mFreeNodes     *obs.Gauge
+	mCompileHist   *obs.Histogram
+	mRunHist       *obs.Histogram
+	mE2EHist       *obs.Histogram
+	mDebt          *obs.Gauge
+	mEvictions     *obs.Counter
+	mPruned        *obs.Counter
+}
+
+// tenantSeries caches one tenant's latency histogram series handles.
+type tenantSeries struct {
+	queue, compile, run, e2e *obs.HistSeries
+}
+
+// tenantHist returns (creating on first use) the cached series handles
+// for a tenant. Callers hold s.mu.
+func (s *Server) tenantHist(tenant string) *tenantSeries {
+	ts := s.tenantHists[tenant]
+	if ts == nil {
+		l := obs.Label{Key: "tenant", Value: tenant}
+		ts = &tenantSeries{
+			queue:   s.mQueueWaitHist.With(l),
+			compile: s.mCompileHist.With(l),
+			run:     s.mRunHist.With(l),
+			e2e:     s.mE2EHist.With(l),
+		}
+		s.tenantHists[tenant] = ts
+	}
+	return ts
 }
 
 // New builds a server and starts its scheduler loop.
@@ -120,18 +189,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		machine:   mt,
-		sess:      core.NewSession(cfg.Seed),
-		cache:     NewPlanCache(),
-		start:     time.Now(),
-		store:     newJobStore(),
-		sched:     NewFairScheduler(cfg.Sched),
-		freeNodes: cfg.Nodes,
-		maxWait:   map[string]float64{},
-		wake:      make(chan struct{}, 1),
-		quit:      make(chan struct{}),
-		reg:       obs.NewRegistry(),
+		cfg:         cfg,
+		machine:     mt,
+		sess:        core.NewSession(cfg.Seed),
+		cache:       NewPlanCache(cfg.CacheSize),
+		start:       time.Now(),
+		store:       newJobStore(),
+		sched:       NewFairScheduler(cfg.Sched),
+		freeNodes:   cfg.Nodes,
+		maxWait:     map[string]float64{},
+		tenantHists: map[string]*tenantSeries{},
+		wake:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		reg:         obs.NewRegistry(),
 	}
 	r := s.reg
 	s.mSubmitted = r.Counter("cumulond_jobs_submitted_total", "jobs admitted, by tenant")
@@ -140,8 +210,14 @@ func New(cfg Config) (*Server, error) {
 	s.mCanceled = r.Counter("cumulond_jobs_canceled_total", "jobs canceled while queued, by tenant")
 	s.mQueueWaitSum = r.Counter("cumulond_queue_wait_seconds_total", "cumulative admission-to-start wait, by tenant")
 	s.mQueueWaitMax = r.Gauge("cumulond_queue_wait_max_seconds", "largest admission-to-start wait seen, by tenant")
-	s.mQueueWaitHist = r.Histogram("cumulond_queue_wait_seconds", "admission-to-start wait distribution (all tenants)",
-		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120})
+	s.mQueueWaitHist = r.Histogram("cumulond_queue_wait_seconds", "admission-to-start wait distribution, by tenant",
+		obs.LatencyBuckets)
+	s.mCompileHist = r.Histogram("cumulond_compile_seconds", "plan compile wall time (cache hits are ~0), by tenant",
+		obs.LatencyBuckets)
+	s.mRunHist = r.Histogram("cumulond_run_seconds", "engine run wall time, by tenant",
+		obs.LatencyBuckets)
+	s.mE2EHist = r.Histogram("cumulond_e2e_seconds", "admission-to-terminal wall time, by tenant",
+		obs.LatencyBuckets)
 	s.mCost = r.Counter("cumulond_cost_dollars_total", "simulated dollars billed, by tenant")
 	s.mVirtualSec = r.Counter("cumulond_virtual_seconds_total", "simulated program seconds executed, by tenant")
 	s.mService = r.Counter("cumulond_service_slot_seconds_total", "fair-share service charged (virtual slot-seconds), by tenant")
@@ -152,6 +228,9 @@ func New(cfg Config) (*Server, error) {
 	s.mRunning = r.Gauge("cumulond_jobs_running", "jobs currently executing")
 	s.mQueueDepth = r.Gauge("cumulond_queue_depth", "jobs waiting for capacity")
 	s.mFreeNodes = r.Gauge("cumulond_nodes_free", "unallocated nodes of the shared cluster")
+	s.mDebt = r.Gauge("cumulond_fair_share_debt", "normalized service above the best-served tenant (service/weight minus the minimum), by tenant")
+	s.mEvictions = r.Counter("cumulond_plan_cache_evictions_total", "plan/deployment cache entries evicted by the LRU bound")
+	s.mPruned = r.Counter("cumulond_jobs_pruned_total", "terminal jobs removed by job-history retention")
 
 	s.wg.Add(1)
 	go s.loop()
@@ -209,6 +288,7 @@ func (s *Server) loop() {
 			s.freeNodes -= sj.Nodes
 			s.running++
 			s.observeStart(j.req.Tenant, j.status.QueueWaitSec)
+			j.events.emit(JobEvent{Type: EvAdmitted, Nodes: sj.Nodes})
 			s.wg.Add(1)
 			go s.runJob(j, sj)
 		}
@@ -220,6 +300,7 @@ func (s *Server) observeStart(tenant string, wait float64) {
 	l := obs.Label{Key: "tenant", Value: tenant}
 	s.mQueueWaitSum.Add(wait, l)
 	s.mQueueWaitHist.Observe(wait)
+	s.tenantHist(tenant).queue.Observe(wait)
 	if wait > s.maxWait[tenant] {
 		s.maxWait[tenant] = wait
 		s.mQueueWaitMax.Set(wait, l)
@@ -291,6 +372,17 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	if req.Seed == 0 {
 		req.Seed = s.cfg.Seed
 	}
+	if req.MaxRetries < 0 {
+		return JobStatus{}, badRequest("admission: max_retries must be non-negative, got %d", req.MaxRetries)
+	}
+	if req.Chaos != "" {
+		if _, err := chaos.Parse(req.Chaos); err != nil {
+			return JobStatus{}, badRequest("admission: chaos: %v", err)
+		}
+	}
+	if req.Explain && !req.Optimize {
+		return JobStatus{}, badRequest("admission: explain requires optimize")
+	}
 	prog, err := lang.Parse(req.Program)
 	if err != nil {
 		return JobStatus{}, badRequest("admission: %v", err)
@@ -300,6 +392,7 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	}
 
 	var dep *opt.Deployment
+	var explain []byte
 	depHit := false
 	if req.Optimize {
 		if req.DeadlineSec > 0 && req.BudgetDollars > 0 {
@@ -319,7 +412,14 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 			Machines: []cloud.MachineType{s.machine},
 		}
 		var met bool
-		dep, met, depHit, err = s.searchDeployment(req.Program, cfg, oreq)
+		if req.Explain {
+			// An EXPLAIN report must reflect this submission's search, so
+			// the deployment cache is bypassed and the search runs fresh
+			// with a recorder attached.
+			dep, met, explain, err = s.explainSearch(oreq)
+		} else {
+			dep, met, depHit, err = s.searchDeployment(req.Program, cfg, oreq)
+		}
 		if err != nil {
 			return JobStatus{}, badRequest("optimize: %v", err)
 		}
@@ -345,9 +445,12 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	j := s.store.add(req)
 	j.prog = prog
 	j.dep = dep
+	j.explain = explain
 	j.enqueued = s.now()
 	j.status.Nodes = req.Nodes
 	j.status.DeploymentCacheHit = depHit
+	j.events = newEventLog(s.cfg.EventBuffer)
+	j.events.emit(JobEvent{Type: EvQueued, Nodes: req.Nodes})
 	s.sched.Push(SchedJob{
 		ID: j.id, Tenant: req.Tenant, Priority: req.Priority,
 		Nodes: req.Nodes, Enqueued: j.enqueued,
@@ -355,6 +458,29 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	s.mSubmitted.Add(1, obs.Label{Key: "tenant", Value: req.Tenant})
 	s.signal()
 	return j.status, nil
+}
+
+// explainSearch runs a fresh optimizer search with a SearchTrace
+// attached and renders the EXPLAIN report. The deployment cache is
+// neither consulted nor populated: the report documents this search.
+func (s *Server) explainSearch(oreq opt.Request) (*opt.Deployment, bool, []byte, error) {
+	st := opt.NewSearchTrace()
+	oreq.Search = st
+	var res *opt.Result
+	var err error
+	if oreq.DeadlineSec > 0 {
+		res, err = s.sess.Optimizer().MinCostForDeadline(oreq)
+	} else {
+		res, err = s.sess.Optimizer().MinTimeForBudget(oreq)
+	}
+	if err != nil {
+		return nil, false, nil, err
+	}
+	var buf bytes.Buffer
+	if err := st.Explain(&buf, 5); err != nil {
+		fmt.Fprintf(&buf, "explain render failed: %v\n", err)
+	}
+	return res.Best, res.Met, buf.Bytes(), nil
 }
 
 // searchDeployment runs the cache-fronted optimizer search.
@@ -378,25 +504,36 @@ func (s *Server) searchDeployment(source string, cfg plan.Config, oreq opt.Reque
 	return dep, met, hit, err
 }
 
+// execOutcome carries what executeJob learned besides the result.
+type execOutcome struct {
+	res        *core.ExecResult
+	cluster    string
+	planHit    bool
+	compileSec float64
+	trace      *obs.Trace // non-nil when the job opted into artifacts
+}
+
 // runJob executes one admitted job on its own engine instance and
 // records the outcome.
 func (s *Server) runJob(j *job, sj *SchedJob) {
 	defer s.wg.Done()
 	started := time.Now()
-	res, clusterStr, planHit, err := s.executeJob(j)
+	out, err := s.executeJob(j)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.status.RunSec = time.Since(started).Seconds()
-	j.status.Cluster = clusterStr
-	j.status.PlanCacheHit = planHit
+	j.status.Cluster = out.cluster
+	j.status.PlanCacheHit = out.planHit
 	l := obs.Label{Key: "tenant", Value: j.req.Tenant}
 	if err != nil {
 		j.state = StateFailed
 		j.status.State = StateFailed
 		j.status.Error = err.Error()
 		s.mFailed.Add(1, l)
+		j.events.append(JobEvent{Type: EvFailed, Error: err.Error()}, true)
 	} else {
+		res := out.res
 		j.state = StateSucceeded
 		j.status.State = StateSucceeded
 		j.status.Result = resultFrom(res)
@@ -406,48 +543,114 @@ func (s *Server) runJob(j *job, sj *SchedJob) {
 		s.mCost.Add(res.CostDollars, l)
 		s.mVirtualSec.Add(res.Metrics.TotalSeconds, l)
 		s.mService.Add(service, l)
+		j.events.append(JobEvent{
+			Type:        EvDone,
+			VirtualSec:  res.Metrics.TotalSeconds,
+			CostDollars: res.CostDollars,
+		}, true)
+	}
+	ts := s.tenantHist(j.req.Tenant)
+	ts.compile.Observe(out.compileSec)
+	ts.run.Observe(j.status.RunSec)
+	ts.e2e.Observe(j.status.QueueWaitSec + j.status.RunSec)
+	s.mCompileHist.Observe(out.compileSec)
+	s.mRunHist.Observe(j.status.RunSec)
+	s.mE2EHist.Observe(j.status.QueueWaitSec + j.status.RunSec)
+	s.retainArtifacts(j, out.trace)
+	if n := s.store.prune(s.cfg.JobHistory); n > 0 {
+		s.mPruned.Add(float64(n))
 	}
 	s.freeNodes += sj.Nodes
 	s.running--
 	s.signal()
 }
 
-// executeJob does the cache-fronted compile and the engine run, outside
-// the server lock.
-func (s *Server) executeJob(j *job) (*core.ExecResult, string, bool, error) {
-	req := j.req
-	cfg := planConfig(j.prog, req)
-	before := s.cache.Stats().PlanHits
-	prog, tmpl, _, err := s.cache.Compile(req.Program, cfg)
-	if err != nil {
-		return nil, "", false, err
+// retainArtifacts renders and stores a terminal job's opted-in
+// artifacts, evicting the oldest retained set beyond the cap. Callers
+// hold s.mu.
+func (s *Server) retainArtifacts(j *job, tr *obs.Trace) {
+	j.artifacts = renderArtifacts(j.req, tr, j.explain)
+	if j.artifacts == nil {
+		return
 	}
-	planHit := s.cache.Stats().PlanHits > before
+	s.artifactOrder = append(s.artifactOrder, j.id)
+	for len(s.artifactOrder) > s.cfg.ArtifactHistory {
+		old := s.artifactOrder[0]
+		s.artifactOrder = s.artifactOrder[1:]
+		if oj, ok := s.store.get(old); ok {
+			oj.artifacts = nil
+		}
+	}
+}
+
+// executeJob does the cache-fronted compile and the engine run, outside
+// the server lock. It feeds the job's event stream and, when the job
+// opted into artifact retention, records a private obs.Trace whose
+// Chrome export matches a direct CLI run of the same
+// program/config/seed byte for byte.
+func (s *Server) executeJob(j *job) (execOutcome, error) {
+	req := j.req
+	var out execOutcome
+	cfg := planConfig(j.prog, req)
+	j.events.emit(JobEvent{Type: EvCompiling})
+	before := s.cache.Stats().PlanHits
+	compileStart := time.Now()
+	prog, tmpl, _, err := s.cache.Compile(req.Program, cfg)
+	out.compileSec = time.Since(compileStart).Seconds()
+	if err != nil {
+		return out, err
+	}
+	out.planHit = s.cache.Stats().PlanHits > before
+	if out.planHit {
+		j.events.emit(JobEvent{Type: EvPlanCacheHit})
+	} else {
+		j.events.emit(JobEvent{Type: EvPlanCacheMiss})
+	}
 
 	pl := tmpl.Clone()
 	var cluster cloud.Cluster
 	if j.dep != nil {
 		cluster = j.dep.Cluster
+		out.cluster = cluster.String()
 		if err := j.dep.Apply(pl); err != nil {
-			return nil, cluster.String(), planHit, err
+			return out, err
 		}
 	} else {
 		cluster, err = cloud.NewCluster(s.machine, req.Nodes, req.Slots)
 		if err != nil {
-			return nil, "", planHit, err
+			return out, err
 		}
 		pl.AutoSplit(cluster.TotalSlots())
+		out.cluster = cluster.String()
+	}
+
+	var inner obs.Recorder = obs.Nop()
+	if req.Trace || req.Critpath || req.Metrics {
+		out.trace = obs.NewTrace()
+		inner = out.trace
 	}
 	opts := core.ExecOptions{
-		Cluster: cluster,
-		Seed:    req.Seed,
-		Workers: s.cfg.Workers,
+		Cluster:        cluster,
+		Seed:           req.Seed,
+		Workers:        s.cfg.Workers,
+		Recorder:       &runRecorder{inner: inner, log: j.events},
+		MaxTaskRetries: req.MaxRetries,
+	}
+	if req.Chaos != "" {
+		// Validated at admission; a fresh schedule per run keeps any
+		// consumption state private to this job.
+		sched, err := chaos.Parse(req.Chaos)
+		if err != nil {
+			return out, err
+		}
+		opts.Chaos = sched
 	}
 	if req.Materialize {
 		opts.Inputs = core.RandomInputs(prog, cfg, req.Seed)
 	}
-	res, err := s.sess.ExecutePlan(pl, cluster, opts)
-	return res, cluster.String(), planHit, err
+	j.events.emit(JobEvent{Type: EvRunning, Cluster: out.cluster, Nodes: cluster.Nodes})
+	out.res, err = s.sess.ExecutePlan(pl, cluster, opts)
+	return out, err
 }
 
 // Cancel cancels a queued job. Running and terminal jobs are refused.
@@ -464,6 +667,8 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		j.state = StateCanceled
 		j.status.State = StateCanceled
 		s.mCanceled.Add(1, obs.Label{Key: "tenant", Value: j.req.Tenant})
+		j.events.append(JobEvent{Type: EvCanceled}, true)
+		s.retainArtifacts(j, nil)
 		return j.status, nil
 	case StateRunning:
 		return JobStatus{}, &apiError{code: http.StatusConflict, msg: fmt.Sprintf("job %s is running and cannot be interrupted", id)}
@@ -573,13 +778,22 @@ func (s *Server) StatsSnapshot() Stats {
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs           submit (SubmitRequest JSON -> JobStatus)
-//	GET    /v1/jobs           list (?tenant=, ?state=)
+//	GET    /v1/jobs           paginated list (?tenant=, ?state=, ?after=, ?limit=)
 //	GET    /v1/jobs/{id}      status
 //	GET    /v1/jobs/{id}/result  terminal result (409 until terminal)
+//	GET    /v1/jobs/{id}/events  lifecycle event stream: long-poll
+//	                          (?since=N, ?wait=sec) or SSE (?stream=sse
+//	                          or Accept: text/event-stream)
+//	GET    /v1/jobs/{id}/trace     retained Chrome trace (opt-in)
+//	GET    /v1/jobs/{id}/critpath  retained critical-path report (opt-in)
+//	GET    /v1/jobs/{id}/metrics   retained metrics snapshot (opt-in)
+//	GET    /v1/jobs/{id}/explain   retained optimizer EXPLAIN (opt-in)
 //	DELETE /v1/jobs/{id}      cancel a queued job
 //	GET    /v1/stats          scheduler/cache/tenant stats (JSON)
 //	GET    /metrics           Prometheus text metrics
 //	GET    /metrics.json      deterministic JSON metrics
+//	GET    /debug/dash        self-contained HTML ops dashboard
+//	GET    /debug/pprof/*     runtime profiles (only with Config.Pprof)
 //	GET    /healthz           liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -597,8 +811,40 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusAccepted, st)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List(r.URL.Query().Get("tenant"), JobState(r.URL.Query().Get("state"))))
+		q := r.URL.Query()
+		limit := 100
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeErr(w, badRequest("limit must be a positive integer, got %q", v))
+				return
+			}
+			limit = n
+		}
+		s.mu.Lock()
+		jobs, next := s.store.listPage(q.Get("tenant"), JobState(q.Get("state")), q.Get("after"), limit)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, JobPage{Jobs: jobs, NextAfter: next})
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s.handleEvents(w, r)
+	})
+	for _, a := range []string{"trace", "critpath", "metrics", "explain"} {
+		kind := a
+		mux.HandleFunc("GET /v1/jobs/{id}/"+kind, func(w http.ResponseWriter, r *http.Request) {
+			s.handleArtifact(w, r, kind)
+		})
+	}
+	mux.HandleFunc("GET /debug/dash", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDash(w, r)
+	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.Status(r.PathValue("id"))
 		if !ok {
@@ -661,6 +907,36 @@ func (s *Server) refreshGauges() {
 	s.mRunning.Set(float64(s.running))
 	s.mQueueDepth.Set(float64(s.sched.Depth()))
 	s.mFreeNodes.Set(float64(s.freeNodes))
+	if d := cs.Evictions - s.lastEvictions; d > 0 {
+		s.mEvictions.Add(float64(d))
+		s.lastEvictions = cs.Evictions
+	}
+	// Fair-share debt: a tenant's normalized service above the
+	// best-served tenant's. The scheduler favors low debt, so a large
+	// value means the tenant has been consuming ahead of its share.
+	minNorm := 0.0
+	first := true
+	for tenant := range s.tenantHists {
+		n := s.sched.Service(tenant) / s.sched.Weight(tenant)
+		if first || n < minNorm {
+			minNorm, first = n, false
+		}
+	}
+	for _, tenant := range sortedTenants(s.tenantHists) {
+		n := s.sched.Service(tenant) / s.sched.Weight(tenant)
+		s.mDebt.Set(n-minNorm, obs.Label{Key: "tenant", Value: tenant})
+	}
+}
+
+// sortedTenants returns the map's keys sorted, for deterministic gauge
+// update order.
+func sortedTenants(m map[string]*tenantSeries) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

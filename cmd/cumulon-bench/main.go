@@ -18,6 +18,8 @@ import (
 
 	"cumulon/internal/bench"
 	"cumulon/internal/chaos"
+	"cumulon/internal/linalg"
+	"cumulon/internal/linalg/tune"
 	"cumulon/internal/obs"
 	"cumulon/internal/opt"
 )
@@ -28,6 +30,10 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-experiment timing")
 	format := flag.String("format", "text", "table format: text, markdown, or csv")
 	workers := flag.Int("workers", 0, "parallel compute workers for materialized runs")
+	kernelPar := flag.Int("kernel-par", 0,
+		"worker fan-out inside a single blocked GEMM (0 = GOMAXPROCS; results are identical)")
+	autotune := flag.Bool("autotune", false,
+		"sweep blocking shapes and worker counts on this host (internal/linalg/tune) and install the best before running experiments")
 	traceOut := flag.String("trace", "",
 		"write a Chrome trace-event JSON of the benchmarked engine runs to this file")
 	metricsOut := flag.String("metrics", "",
@@ -42,6 +48,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *kernelPar > 0 {
+		linalg.SetParallelism(*kernelPar)
+	}
+	if *autotune {
+		prof, err := tune.Sweep(tune.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := prof.Apply(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("autotune: best mc=%d kc=%d nc=%d workers=%d (%.1f MFLOP/s, %.2fx over sequential)\n\n",
+			prof.Best.Shape.MC, prof.Best.Shape.KC, prof.Best.Shape.NC,
+			prof.Best.Workers, prof.Best.MFlops, prof.Speedup())
 	}
 
 	s := bench.NewSuite(*seed)

@@ -20,6 +20,8 @@ import (
 	"cumulon/internal/chaos"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
+	"cumulon/internal/linalg"
+	"cumulon/internal/linalg/tune"
 	"cumulon/internal/opt"
 	"cumulon/internal/plan"
 )
@@ -53,6 +55,8 @@ func run(args []string) error {
 		"report what the cross-statement CSE/hoisting pass eliminated from the program (also counted in the search trace as cse_chains / cse_flops_saved)")
 	chaosSpec := fs.String("chaos", "",
 		"stress-test the recommendation: execute the chosen deployment under this fault schedule (e.g. \"seed=7,kill=0@120,taskfault=0.02\") and report the slowdown against the prediction")
+	kernelProfile := fs.String("kernel-profile", "",
+		"kernel autotuner profile (JSON from cumulon-tune); its measured speedup scales each machine's effective throughput during calibration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +96,15 @@ func run(args []string) error {
 		Search:        st,
 	}
 	o := opt.New(*seed)
+	if *kernelProfile != "" {
+		prof, err := tune.LoadFile(*kernelProfile)
+		if err != nil {
+			return err
+		}
+		o.UseKernelProfile(prof)
+		fmt.Printf("kernel profile: %s (speedup %.2fx, best %s w=%d)\n",
+			*kernelProfile, prof.Speedup(), shapeString(prof.Best.Shape), prof.Best.Workers)
+	}
 	var res *opt.Result
 	if *deadline > 0 {
 		res, err = o.MinCostForDeadline(req)
@@ -209,4 +222,8 @@ func readSource(path string) (string, error) {
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
+}
+
+func shapeString(s linalg.BlockShape) string {
+	return fmt.Sprintf("mc=%d kc=%d nc=%d", s.MC, s.KC, s.NC)
 }

@@ -56,6 +56,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "seed for data, placement and noise")
 	workers := fs.Int("workers", 0,
 		"parallel compute workers for -materialize (capped at GOMAXPROCS; results are identical)")
+	kernelPar := fs.Int("kernel-par", 0,
+		"worker fan-out inside a single blocked GEMM (0 = GOMAXPROCS; results are identical)")
 	showPlan := fs.Bool("plan", true, "print the compiled physical plan")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	dot := fs.Bool("dot", false, "emit the plan DAG in Graphviz DOT and exit")
@@ -208,7 +210,7 @@ func run(args []string) error {
 		cluster = dep.Cluster
 	}
 
-	opts := core.ExecOptions{Cluster: cluster, Workers: *workers, Chaos: sched, MaxTaskRetries: *maxRetries}
+	opts := core.ExecOptions{Cluster: cluster, Workers: *workers, KernelParallelism: *kernelPar, Chaos: sched, MaxTaskRetries: *maxRetries}
 	if *materialize {
 		opts.Inputs = core.RandomInputs(prog, cfg, *seed)
 	}

@@ -97,6 +97,12 @@ type Config struct {
 	// sequentially. Virtual runs have no tile math and always run
 	// sequentially.
 	Workers int
+	// KernelParallelism bounds the worker fan-out *inside* a single
+	// blocked GEMM (linalg.SetParallelism) — intra-kernel parallelism,
+	// orthogonal to Workers' task-level fan-out. 0 leaves the process-wide
+	// setting untouched (default: GOMAXPROCS). Results are bit-identical
+	// at any value; only wall-clock changes.
+	KernelParallelism int
 	// Backend overrides the compute backend entirely (tests use it to
 	// force a specific pool width regardless of GOMAXPROCS). When set,
 	// Workers is ignored.
@@ -185,6 +191,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if err := cfg.Chaos.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.KernelParallelism > 0 {
+		linalg.SetParallelism(cfg.KernelParallelism)
 	}
 	rec := obs.OrNop(cfg.Recorder)
 	return &Engine{

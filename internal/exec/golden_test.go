@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cumulon/internal/linalg"
 	"cumulon/internal/obs"
 )
 
@@ -64,6 +65,48 @@ func TestGoldenGNMFTrace(t *testing.T) {
 			t.Errorf("%s drifted from golden (%d bytes now vs %d recorded): "+
 				"engine accounting or trace layout changed; if intended, re-record with -update-golden",
 				g.path, len(g.got), len(want))
+		}
+	}
+}
+
+// TestGoldenGNMFTraceParallelKernels reruns the golden comparison with
+// intra-kernel parallelism forced on (the parallel blocked-GEMM driver).
+// The goldens are recorded with default settings, so a single byte of
+// drift here means kernel fan-out leaked into results, flop accounting or
+// trace layout — the bit-identity contract of gemmBlockedParallel,
+// checked end-to-end. Nothing is ever re-recorded from this test.
+func TestGoldenGNMFTraceParallelKernels(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are recorded by TestGoldenGNMFTrace only")
+	}
+	prev := linalg.SetParallelism(4)
+	defer linalg.SetParallelism(prev)
+
+	tr := obs.NewTrace()
+	runGNMF(t, nil, nil, tr)
+
+	var trace bytes.Buffer
+	if err := tr.WriteChrome(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if err := obs.Snapshot(tr).Write(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		path string
+		got  []byte
+	}{
+		{filepath.Join("testdata", "golden_gnmf_trace.json"), trace.Bytes()},
+		{filepath.Join("testdata", "golden_gnmf_metrics.txt"), metrics.Bytes()},
+	} {
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden file (record with TestGoldenGNMFTrace -update-golden): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted under kernel parallelism (%d bytes now vs %d recorded): "+
+				"the parallel GEMM driver changed observable behavior", g.path, len(g.got), len(want))
 		}
 	}
 }

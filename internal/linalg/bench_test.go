@@ -24,7 +24,11 @@ func benchTile(n int, seed int64) *Tile {
 //
 // Both sub-benchmarks call the concrete kernels directly (not the public
 // dispatch), so each path is measured even at sizes the cutoff would
-// route elsewhere.
+// route elsewhere. The "blocked" arm pins the *sequential* driver
+// (gemmBlockedSeq) so its 0 allocs/op CI guard and its naive-vs-blocked
+// comparison stay independent of the host's core count; the parallel
+// tier has its own sub-benchmarks (BenchmarkGemmParallel) with explicit
+// worker counts.
 
 func benchGemmPair(b *testing.B, n int, naive, blocked func(c, a, x *Tile)) {
 	a, x := benchTile(n, 1), benchTile(n, 2)
@@ -48,7 +52,7 @@ func BenchmarkGemm(b *testing.B) {
 	for _, n := range []int{128, 256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemm, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, false, false, nil)
+				gemmBlockedSeq(defaultBlockConf, c, a, x, false, false, nil)
 			})
 		})
 	}
@@ -58,7 +62,7 @@ func BenchmarkGemmTA(b *testing.B) {
 	for _, n := range []int{128, 256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemmTA, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, true, false, nil)
+				gemmBlockedSeq(defaultBlockConf, c, a, x, true, false, nil)
 			})
 		})
 	}
@@ -71,9 +75,45 @@ func BenchmarkGemmTB(b *testing.B) {
 	for _, n := range []int{256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGemmPair(b, n, refGemmTB, func(c, a, x *Tile) {
-				gemmBlocked(defaultBlockConf, c, a, x, false, true, nil)
+				gemmBlockedSeq(defaultBlockConf, c, a, x, false, true, nil)
 			})
 		})
+	}
+}
+
+// BenchmarkGemmParallel measures the parallel blocked tier at explicit
+// worker counts against the w=1 sequential driver (same code the public
+// kernels dispatch to). EXPERIMENTS.md records the 1/2/4/8-worker
+// throughput table; compare with benchstat:
+//
+//	go test -run '^$' -bench 'GemmParallel' -benchtime 10x -count 10 ./internal/linalg | tee par.txt
+//	benchstat par.txt
+//
+// On a single-core host every width measures the same, by construction:
+// results are bit-identical and the Go scheduler has one P to run on.
+func BenchmarkGemmParallel(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/w=%d", n, w), func(b *testing.B) {
+				a, x := benchTile(n, 1), benchTile(n, 2)
+				c := NewTile(n, n)
+				run := func(c, a, x *Tile) {
+					if w > 1 {
+						gemmBlockedParallel(defaultBlockConf, c, a, x, false, false, nil, w)
+						return
+					}
+					gemmBlockedSeq(defaultBlockConf, c, a, x, false, false, nil)
+				}
+				run(c, a, x) // warm the per-worker scratch pool
+				b.ReportAllocs()
+				b.SetBytes(GemmFlops(n, n, n)) // MB/s column reads as MFLOP/s
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Zero()
+					run(c, a, x)
+				}
+			})
+		}
 	}
 }
 

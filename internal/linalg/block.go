@@ -16,11 +16,15 @@ import "sync"
 // register tile *first* and then accumulates the k terms in ascending
 // order, one kc-block after another. Each element of C therefore sees
 // exactly the sequence c0 + a(i,0)b(0,j) + a(i,1)b(1,j) + ... that the
-// naive ikj reference produces, for any blocking factors, so the blocked
-// kernels agree with refGemm/refGemmTA bit-for-bit on finite data (up to
-// the sign of zero: the reference skips a==0 terms, the blocked kernel
-// adds their +0 products). The differential tests and fuzz targets in
-// blocked_test.go / fuzz_test.go hold the kernels to that contract.
+// naive references produce — refGemm, refGemmTA and refGemmTB all fold
+// their terms into the loaded C element in the same ascending-k order —
+// so the blocked kernels agree with all three references bit-for-bit on
+// finite data, from any accumulator (up to the sign of zero: the
+// references skip a==0 terms, the blocked kernel adds their +0
+// products). The same sequence per element also holds on the parallel
+// driver (parallel.go) at every worker count. The differential tests and
+// fuzz targets in blocked_test.go / parallel_test.go / fuzz_test.go hold
+// the kernels to that contract.
 
 // blockConf carries the cache-blocking factors. Production code uses
 // defaultBlockConf; tests shrink the factors to force multi-block loops
@@ -70,15 +74,22 @@ type gemmScratch struct {
 
 var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
 
+// ensure sizes the packing buffers for exactly the requested panel
+// lengths. The slices are re-sliced to the request — never to capacity —
+// so a scratch recycled from a larger product cannot hand the packers or
+// the micro-kernel stale data beyond the panels they are about to fill:
+// an out-of-bounds window panics instead of silently reading garbage.
+// (The packers still zero the mr/nr fringe padding explicitly; ensure
+// only bounds the visible buffer.)
 func (s *gemmScratch) ensure(an, bn int) {
 	if cap(s.a) < an {
 		s.a = make([]float64, an)
 	}
-	s.a = s.a[:cap(s.a)]
+	s.a = s.a[:an]
 	if cap(s.b) < bn {
 		s.b = make([]float64, bn)
 	}
-	s.b = s.b[:cap(s.b)]
+	s.b = s.b[:bn]
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -95,11 +106,17 @@ func minInt(a, b int) int {
 // B is (k×n) or, with tb, (n×k). Shapes are the caller's responsibility
 // (the public kernels validate before dispatching).
 //
-// epi, when non-nil, is applied to each m×nb output panel right after the
-// panel's pc loop lands its final k-block — the panel is fully accumulated
-// and still cache-resident, so a fused element-wise epilogue costs one
-// warm pass instead of a second cold sweep over the whole tile. Every C
-// element is visited by epi exactly once.
+// epi, when non-nil, is applied to each finished output panel right after
+// the panel's pc loop lands its final k-block — the panel is fully
+// accumulated and still cache-resident, so a fused element-wise epilogue
+// costs one warm pass instead of a second cold sweep over the whole tile.
+// Every C element is visited by epi exactly once.
+//
+// Products big enough to repay goroutine fan-out run on the parallel
+// driver (parallel.go), which partitions the jc/ic macro-panel grid
+// across workers. Each C element sees the identical ascending-k
+// accumulation sequence either way, so the parallel result is
+// bit-identical to the sequential one at every worker count.
 func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool, epi EpilogueFn) {
 	m, n := c.Rows, c.Cols
 	k := a.Cols
@@ -111,6 +128,24 @@ func gemmBlocked(cf blockConf, c, a, b *Tile, ta, tb bool, epi EpilogueFn) {
 			epi(0, 0, m, n)
 		}
 		return
+	}
+	if w := gemmWorkers(cf, m, k, n); w > 1 {
+		gemmBlockedParallel(cf, c, a, b, ta, tb, epi, w)
+		return
+	}
+	gemmBlockedSeq(cf, c, a, b, ta, tb, epi)
+}
+
+// gemmBlockedSeq is the single-goroutine blocked driver: the jc→pc→ic
+// loop nest with per-call pooled scratch. It is the reference the
+// parallel driver is held bit-identical to, and the path the public
+// kernels take when parallelism is off or the product is too small to
+// repay fan-out.
+func gemmBlockedSeq(cf blockConf, c, a, b *Tile, ta, tb bool, epi EpilogueFn) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if ta {
+		k = a.Rows
 	}
 	sc := gemmPool.Get().(*gemmScratch)
 	defer gemmPool.Put(sc)

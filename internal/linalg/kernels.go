@@ -100,10 +100,12 @@ func GemmTB(c, a, b *Tile) {
 }
 
 // refGemmTB is the naive reference kernel behind GemmTB: a row dot per
-// output element. Unlike the other references it sums each dot product
-// separately before adding it to C, so against a nonzero accumulator the
-// blocked kernel may differ from it in the last ulp (and is then the
-// *better*-ordered of the two); the differential tests allow for that.
+// output element. Like refGemm and refGemmTA it loads the C element
+// first and folds the k terms into it in ascending order — the running
+// sum starts from crow[j], not from zero — so blocked and reference
+// agree bit-for-bit even against a nonzero accumulator. (It previously
+// summed each dot separately before adding it to C, which made the TB
+// branch exact only from zero C and association-bounded otherwise.)
 func refGemmTB(c, a, b *Tile) {
 	m, k, n := a.Rows, a.Cols, b.Rows
 	for i := 0; i < m; i++ {
@@ -111,11 +113,11 @@ func refGemmTB(c, a, b *Tile) {
 		crow := c.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			brow := b.Data[j*k : (j+1)*k]
-			var s float64
+			s := crow[j]
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			crow[j] += s
+			crow[j] = s
 		}
 	}
 }

@@ -1,0 +1,216 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel blocked-GEMM driver.
+//
+// One large tile product is partitioned over the (jc, ic) macro-panel
+// grid of the blocked driver: every cell is one nc-wide, mc-tall panel of
+// C together with its full pc loop. A worker that owns a cell runs that
+// cell's k blocks in ascending order against its own packing scratch, so
+//
+//   - writes stay disjoint: each C element belongs to exactly one cell;
+//   - the accumulation sequence per element — C loaded first, k terms
+//     ascending — is exactly the sequential driver's, so the result is
+//     bit-identical to gemmBlockedSeq at every worker count;
+//   - no synchronization exists beyond one atomic cell counter and the
+//     final WaitGroup, and no scratch is shared between goroutines (the
+//     per-call sync.Pool scratch of the sequential driver would be a
+//     data race the moment two workers packed panels into it).
+//
+// The cost of cell ownership is re-packing: a B panel is packed once per
+// cell instead of once per jc column (an extra kb·nb copy against the
+// cell's 2·mb·nb·kb flops, ≤ 1/(2·mc) ≈ 1% at default blocking), and
+// likewise an A panel once per cell instead of once per ic row
+// (≤ 1/(2·nc) ≈ 0.1%). That waste buys barrier-free workers: no phase
+// locks, no packed-panel hand-off, work stealing by atomic increment.
+
+// parallelism holds the configured kernel worker bound: 0 means "use
+// GOMAXPROCS", 1 disables intra-tile parallelism, n>1 caps fan-out at n.
+var parallelism atomic.Int32
+
+// SetParallelism bounds the worker count of the parallel GEMM tier and
+// returns the previous bound. n <= 0 restores the default (GOMAXPROCS at
+// call time). The knob is process-wide — it is a property of the host,
+// not of one engine — and is threaded from exec.Config.KernelParallelism
+// / core.ExecOptions.KernelParallelism and the CLIs' -kernel-par flags.
+// Results are bit-identical at every setting; only wall-clock changes.
+func SetParallelism(n int) int {
+	prev := int(parallelism.Swap(int32(max(n, 0))))
+	if prev == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return prev
+}
+
+// Parallelism reports the current worker bound of the parallel GEMM tier
+// (GOMAXPROCS when unset).
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// gemmParallelMinFlops gates fan-out: below ~2·256³ multiply-adds the
+// goroutine spawn and duplicated packing cost more than the idle cores
+// recover. The threshold is perf-only — results are identical on both
+// sides of it.
+const gemmParallelMinFlops = 1 << 25
+
+// gemmWorkers decides how many workers an (m×k)·(k×n) product should fan
+// out to under the blocking cf: the configured bound, capped by the
+// number of macro-panel cells (extra workers would idle) and by the
+// work-size gate.
+func gemmWorkers(cf blockConf, m, k, n int) int {
+	w := Parallelism()
+	if w <= 1 {
+		return 1
+	}
+	if 2*int64(m)*int64(k)*int64(n) < gemmParallelMinFlops {
+		return 1
+	}
+	cells := ceilDiv(m, cf.mc) * ceilDiv(n, cf.nc)
+	if w > cells {
+		w = cells
+	}
+	return w
+}
+
+// gemmBlockedParallel runs the blocked driver with the (jc, ic) cell grid
+// partitioned across `workers` goroutines. Each worker draws cells from
+// an atomic counter, packs into its own pooled scratch, and — when epi is
+// non-nil — applies the epilogue to each finished cell while it is still
+// cache-resident. Epilogues therefore run concurrently on disjoint
+// panels; the EpilogueFn contract requires nothing more than per-element
+// purity, which the compiled tile-program epilogues satisfy (they write
+// only the panel region they are handed).
+func gemmBlockedParallel(cf blockConf, c, a, b *Tile, ta, tb bool, epi EpilogueFn, workers int) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if ta {
+		k = a.Rows
+	}
+	jCells := ceilDiv(n, cf.nc)
+	iCells := ceilDiv(m, cf.mc)
+	total := jCells * iCells
+	if workers > total {
+		workers = total
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := gemmPool.Get().(*gemmScratch)
+			defer gemmPool.Put(sc)
+			sc.ensure(ceilDiv(cf.mc, mr)*mr*cf.kc, cf.kc*ceilDiv(cf.nc, nr)*nr)
+			for {
+				cell := int(next.Add(1)) - 1
+				if cell >= total {
+					return
+				}
+				// jc-major order: consecutive cells share a B column
+				// panel, keeping the packed-B reads warm across a
+				// worker's run of cells.
+				jc := (cell / iCells) * cf.nc
+				ic := (cell % iCells) * cf.mc
+				nb := minInt(cf.nc, n-jc)
+				mb := minInt(cf.mc, m-ic)
+				// The pc loop stays sequential within the cell so every
+				// C element accumulates its k terms in ascending order —
+				// the bit-exactness contract of block.go.
+				for pc := 0; pc < k; pc += cf.kc {
+					kb := minInt(cf.kc, k-pc)
+					packB(sc.b, b, tb, pc, kb, jc, nb)
+					packA(sc.a, a, ta, ic, mb, pc, kb)
+					for jr := 0; jr < nb; jr += nr {
+						bp := sc.b[(jr/nr)*kb*nr:]
+						cols := minInt(nr, nb-jr)
+						for ir := 0; ir < mb; ir += mr {
+							ap := sc.a[(ir/mr)*kb*mr:]
+							rows := minInt(mr, mb-ir)
+							microKernel(kb, ap, bp, c, ic+ir, jc+jr, rows, cols)
+						}
+					}
+				}
+				if epi != nil {
+					epi(ic, jc, mb, nb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BlockShape is the exported cache-blocking configuration of the blocked
+// GEMM driver, as swept and persisted by the autotuner (package tune).
+// MC must be a positive multiple of the micro-kernel row count, NC of the
+// micro-kernel column count, and KC positive.
+type BlockShape struct {
+	MC int `json:"mc"`
+	KC int `json:"kc"`
+	NC int `json:"nc"`
+}
+
+// Validate reports whether the shape is legal for the micro-kernel.
+func (s BlockShape) Validate() error {
+	if s.MC <= 0 || s.MC%mr != 0 {
+		return fmt.Errorf("linalg: block MC %d must be a positive multiple of %d", s.MC, mr)
+	}
+	if s.NC <= 0 || s.NC%nr != 0 {
+		return fmt.Errorf("linalg: block NC %d must be a positive multiple of %d", s.NC, nr)
+	}
+	if s.KC <= 0 {
+		return fmt.Errorf("linalg: block KC %d must be positive", s.KC)
+	}
+	return nil
+}
+
+// BlockDefaults returns the blocking configuration the public kernels
+// currently dispatch with.
+func BlockDefaults() BlockShape {
+	cf := defaultBlockConf
+	return BlockShape{MC: cf.mc, KC: cf.kc, NC: cf.nc}
+}
+
+// SetBlockDefaults installs a tuned blocking configuration for all
+// subsequent public-kernel dispatches and returns the previous one.
+// Like SetParallelism it is process-wide; results are bit-identical for
+// any legal shape (the accumulation order does not depend on blocking).
+func SetBlockDefaults(s BlockShape) (BlockShape, error) {
+	if err := s.Validate(); err != nil {
+		return BlockDefaults(), err
+	}
+	prev := BlockDefaults()
+	defaultBlockConf = blockConf{mc: s.MC, kc: s.KC, nc: s.NC}
+	return prev, nil
+}
+
+// GemmBlockedWith computes C += A·B through the blocked driver under an
+// explicit blocking shape and worker count, bypassing the size cutoff and
+// the process-wide parallelism bound. It exists for the autotuner, which
+// must measure exactly the configuration it is scoring; production code
+// uses the public kernels. workers <= 1 runs the sequential driver.
+func GemmBlockedWith(s BlockShape, workers int, c, a, b *Tile) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("linalg: gemm shape mismatch %v * %v -> %v", a, b, c)
+	}
+	cf := blockConf{mc: s.MC, kc: s.KC, nc: s.NC}
+	if workers > 1 {
+		gemmBlockedParallel(cf, c, a, b, false, false, nil, workers)
+		return nil
+	}
+	gemmBlockedSeq(cf, c, a, b, false, false, nil)
+	return nil
+}

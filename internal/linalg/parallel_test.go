@@ -1,0 +1,237 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// The parallel driver's contract (parallel.go) is bit-identity with the
+// sequential blocked driver at every worker count: cell ownership keeps C
+// writes disjoint and the per-cell pc loop preserves each element's
+// ascending-k accumulation sequence. These tests run the comparison
+// across 1/2/4/8 workers — including under -race, which is what catches
+// a shared scratch — for all three transpose modes, with nonzero
+// accumulators, fringe shapes, and the epilogue-fused path.
+
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// TestParallelGemmBitIdentical compares gemmBlockedParallel against
+// gemmBlockedSeq over random shapes and shrunken block configurations
+// that force many (jc, ic) cells per call, for every transpose mode.
+func TestParallelGemmBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		m, k, n := 1+rng.Intn(60), 1+rng.Intn(60), 1+rng.Intn(60)
+		cf := blockConf{mc: mr * (1 + rng.Intn(3)), kc: 1 + rng.Intn(16), nc: nr * (1 + rng.Intn(5))}
+		a, b := randTile(rng, m, k), randTile(rng, k, n)
+		at, bt := Transpose(a), Transpose(b)
+		c0 := randTile(rng, m, n)
+
+		for _, mode := range []struct {
+			name   string
+			la, lb *Tile
+			ta, tb bool
+		}{
+			{"gemm", a, b, false, false},
+			{"gemmTA", at, b, true, false},
+			{"gemmTB", a, bt, false, true},
+		} {
+			want := c0.Clone()
+			gemmBlockedSeq(cf, want, mode.la, mode.lb, mode.ta, mode.tb, nil)
+			for _, w := range parallelWorkerCounts {
+				got := c0.Clone()
+				gemmBlockedParallel(cf, got, mode.la, mode.lb, mode.ta, mode.tb, nil, w)
+				assertExact(t, got, want, fmt.Sprintf("trial %d %s w=%d", trial, mode.name, w))
+			}
+		}
+	}
+}
+
+// TestParallelGemmHookedBitIdentical covers the epilogue-fused path:
+// parallel workers apply the epilogue per finished cell, concurrently on
+// disjoint panels, and the result must still match the sequential driver
+// bit-for-bit — with every C element visited by the epilogue exactly
+// once.
+func TestParallelGemmHookedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50)
+		cf := blockConf{mc: mr * (1 + rng.Intn(3)), kc: 1 + rng.Intn(12), nc: nr * (1 + rng.Intn(4))}
+		a, b := randTile(rng, m, k), randTile(rng, k, n)
+		c0 := randTile(rng, m, n)
+
+		epiFor := func(c *Tile, visits []int32) EpilogueFn {
+			return func(i0, j0, rows, cols int) {
+				for i := i0; i < i0+rows; i++ {
+					for j := j0; j < j0+cols; j++ {
+						c.Data[i*c.Cols+j] = 2*c.Data[i*c.Cols+j] + 1
+						atomic.AddInt32(&visits[i*c.Cols+j], 1)
+					}
+				}
+			}
+		}
+
+		want := c0.Clone()
+		wantVisits := make([]int32, m*n)
+		gemmBlockedSeq(cf, want, a, b, false, false, epiFor(want, wantVisits))
+		for i, v := range wantVisits {
+			if v != 1 {
+				t.Fatalf("trial %d: sequential epilogue visited element %d %d times", trial, i, v)
+			}
+		}
+		for _, w := range parallelWorkerCounts {
+			got := c0.Clone()
+			visits := make([]int32, m*n)
+			gemmBlockedParallel(cf, got, a, b, false, false, epiFor(got, visits), w)
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("trial %d w=%d: parallel epilogue visited element %d %d times", trial, w, i, v)
+				}
+			}
+			assertExact(t, got, want, fmt.Sprintf("trial %d hooked w=%d", trial, w))
+		}
+	}
+}
+
+// TestPublicKernelsUnderParallelism drives the public dispatch with the
+// process-wide knob set, at a size above both the blocked and the
+// parallel cutoffs, and checks bit-identity against the naive references
+// — the end-to-end guarantee the engines rely on.
+func TestPublicKernelsUnderParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 260 // 2·260³ ≈ 35M flops: above gemmParallelMinFlops
+	a, b := randTile(rng, n, n), randTile(rng, n, n)
+	for _, w := range parallelWorkerCounts {
+		prev := SetParallelism(w)
+		if gemmWorkers(defaultBlockConf, n, n, n) > w {
+			t.Fatalf("gemmWorkers exceeds the configured bound %d", w)
+		}
+		got, want := NewTile(n, n), NewTile(n, n)
+		Gemm(got, a, b)
+		refGemm(want, a, b)
+		assertExact(t, got, want, fmt.Sprintf("public gemm w=%d", w))
+
+		gotTB, wantTB := randTile(rng, n, n), NewTile(n, n)
+		wantTB.Data = append(wantTB.Data[:0], gotTB.Data...)
+		GemmTB(gotTB, a, b)
+		refGemmTB(wantTB, a, b)
+		assertExact(t, gotTB, wantTB, fmt.Sprintf("public gemmTB w=%d", w))
+
+		gotTA, wantTA := NewTile(n, n), NewTile(n, n)
+		GemmTA(gotTA, a, b)
+		refGemmTA(wantTA, a, b)
+		assertExact(t, gotTA, wantTA, fmt.Sprintf("public gemmTA w=%d", w))
+		SetParallelism(prev)
+	}
+}
+
+// TestSetParallelism pins the knob's semantics: 0 restores GOMAXPROCS,
+// the previous value is returned, and gemmWorkers gates on both the
+// flop threshold and the cell count.
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(0)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if old := SetParallelism(3); old != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetParallelism returned %d, want previous %d", old, runtime.GOMAXPROCS(0))
+	}
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d after SetParallelism(3)", got)
+	}
+	// Small products never fan out, whatever the knob says.
+	if w := gemmWorkers(defaultBlockConf, 64, 64, 64); w != 1 {
+		t.Fatalf("gemmWorkers(64³) = %d, want 1 (below the fan-out gate)", w)
+	}
+	// The cell grid caps useful workers: a single-cell product runs alone.
+	SetParallelism(8)
+	if w := gemmWorkers(defaultBlockConf, 512, 512, 512); w != 8 {
+		t.Fatalf("gemmWorkers(big grid) = %d, want 8", w)
+	}
+	if w := gemmWorkers(blockConf{mc: 4096, kc: 256, nc: 4096}, 512, 512, 512); w != 1 {
+		t.Fatalf("gemmWorkers(one cell) = %d, want 1", w)
+	}
+}
+
+// TestGemmBlockedWith covers the autotuner's measuring hook: explicit
+// shapes and worker counts must agree with the reference, and illegal
+// shapes must be rejected rather than mis-packed.
+func TestGemmBlockedWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a, b := randTile(rng, 40, 30), randTile(rng, 30, 20)
+	want := NewTile(40, 20)
+	refGemm(want, a, b)
+	for _, w := range parallelWorkerCounts {
+		got := NewTile(40, 20)
+		if err := GemmBlockedWith(BlockShape{MC: 8, KC: 7, NC: 6}, w, got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		assertExact(t, got, want, fmt.Sprintf("GemmBlockedWith w=%d", w))
+	}
+	if err := GemmBlockedWith(BlockShape{MC: 7, KC: 4, NC: 6}, 1, NewTile(40, 20), a, b); err == nil {
+		t.Fatal("GemmBlockedWith accepted MC not a multiple of mr")
+	}
+	if err := GemmBlockedWith(BlockShape{MC: 8, KC: 4, NC: 6}, 1, NewTile(40, 21), a, b); err == nil {
+		t.Fatal("GemmBlockedWith accepted a shape mismatch")
+	}
+}
+
+// TestSetBlockDefaults verifies the tuned-shape installer: legal shapes
+// take effect process-wide (and results stay bit-identical), illegal
+// ones are rejected leaving the previous configuration in place.
+func TestSetBlockDefaults(t *testing.T) {
+	orig := BlockDefaults()
+	defer SetBlockDefaults(orig)
+	if _, err := SetBlockDefaults(BlockShape{MC: 32, KC: 64, NC: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if got := BlockDefaults(); got != (BlockShape{MC: 32, KC: 64, NC: 128}) {
+		t.Fatalf("BlockDefaults = %+v after install", got)
+	}
+	rng := rand.New(rand.NewSource(25))
+	n := 96
+	a, b := randTile(rng, n, n), randTile(rng, n, n)
+	got, want := NewTile(n, n), NewTile(n, n)
+	Gemm(got, a, b)
+	refGemm(want, a, b)
+	assertExact(t, got, want, "gemm under tuned blocking")
+	if _, err := SetBlockDefaults(BlockShape{MC: 0, KC: 1, NC: 2}); err == nil {
+		t.Fatal("SetBlockDefaults accepted an illegal shape")
+	}
+	if got := BlockDefaults(); got != (BlockShape{MC: 32, KC: 64, NC: 128}) {
+		t.Fatalf("failed install clobbered the configuration: %+v", got)
+	}
+}
+
+// TestParallelGemmScratchPooled asserts the per-worker scratch keeps the
+// parallel path's allocations bounded by fan-out bookkeeping alone
+// (goroutines + waitgroup), independent of the product size: packing
+// buffers come from the pool, never fresh.
+func TestParallelGemmScratchPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool items at random; alloc count is not stable")
+	}
+	rng := rand.New(rand.NewSource(26))
+	const workers = 4
+	measure := func(n int) float64 {
+		a, b := randTile(rng, n, n), randTile(rng, n, n)
+		c := NewTile(n, n)
+		gemmBlockedParallel(defaultBlockConf, c, a, b, false, false, nil, workers) // warm the pool
+		return testing.AllocsPerRun(10, func() {
+			gemmBlockedParallel(defaultBlockConf, c, a, b, false, false, nil, workers)
+		})
+	}
+	small, large := measure(96), measure(192)
+	// Spawn bookkeeping is a handful of objects per worker; 4 workers
+	// must stay under ~6 each, and the count must not grow with size.
+	if small > 6*workers || large > 6*workers {
+		t.Fatalf("parallel gemm allocates %.1f/%.1f objects per call, want fan-out bookkeeping only", small, large)
+	}
+	if large > small+workers {
+		t.Fatalf("parallel gemm allocations grow with size: %.1f at 96 vs %.1f at 192 (scratch not pooled?)", small, large)
+	}
+}

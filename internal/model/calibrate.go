@@ -6,6 +6,7 @@ import (
 	"cumulon/internal/cloud"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
+	"cumulon/internal/linalg/tune"
 	"cumulon/internal/plan"
 )
 
@@ -62,6 +63,10 @@ type CalibrationResult struct {
 	Slots   int
 	Model   *TaskModel
 	Obs     []Obs
+	// KernelSpeedup is the autotuner speedup folded into the machine's
+	// effective throughput before calibration (1 when no profile was
+	// supplied).
+	KernelSpeedup float64
 }
 
 // Calibrate runs the micro-benchmark suite on a small instrumented
@@ -70,6 +75,29 @@ type CalibrationResult struct {
 // machine's hardware profile with straggler noise, which is exactly what
 // the fitted model must capture.
 func Calibrate(mt cloud.MachineType, slots int, seed int64) (*CalibrationResult, error) {
+	return CalibrateWithProfile(mt, slots, seed, nil)
+}
+
+// CalibrateWithProfile is Calibrate with an optional kernel autotuner
+// profile (internal/linalg/tune). The profile's measured parallel
+// speedup scales the machine's effective compute throughput (ECU)
+// before the benchmark suite runs, so the fitted flops coefficient —
+// and every optimizer estimate derived from it — reflects what the
+// tuned kernel tier actually delivers rather than the catalog's
+// sequential rating. The speedup is clamped to [1, cores]: a profile
+// cannot make a machine slower, and no fan-out beats its core count.
+func CalibrateWithProfile(mt cloud.MachineType, slots int, seed int64, prof *tune.Profile) (*CalibrationResult, error) {
+	speedup := 1.0
+	if prof != nil {
+		speedup = prof.Speedup()
+		if limit := float64(mt.Cores); limit >= 1 && speedup > limit {
+			speedup = limit
+		}
+		if speedup < 1 {
+			speedup = 1
+		}
+		mt.ECU *= speedup
+	}
 	cluster, err := cloud.NewCluster(mt, 4, slots)
 	if err != nil {
 		return nil, err
@@ -117,7 +145,7 @@ func Calibrate(mt cloud.MachineType, slots int, seed int64) (*CalibrationResult,
 	if err != nil {
 		return nil, err
 	}
-	return &CalibrationResult{Machine: mt, Slots: slots, Model: tm, Obs: obs}, nil
+	return &CalibrationResult{Machine: mt, Slots: slots, Model: tm, Obs: obs, KernelSpeedup: speedup}, nil
 }
 
 // ObsFromTasks converts engine task records into model observations,

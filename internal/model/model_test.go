@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"cumulon/internal/cloud"
+	"cumulon/internal/linalg"
+	"cumulon/internal/linalg/tune"
 )
 
 // synthObs generates observations from known coefficients plus noise.
@@ -101,6 +103,51 @@ func TestCalibrateProducesAccurateModel(t *testing.T) {
 	ratio := res.Model.BFlops / nominal
 	if ratio < 0.3 || ratio > 3 {
 		t.Fatalf("fitted flop rate implausible: ratio %v (%s)", ratio, res.Model)
+	}
+}
+
+// TestCalibrateWithProfileScalesFlops: an autotuner profile reporting a
+// 2x kernel speedup should roughly halve the fitted flops coefficient
+// (the machine computes twice as fast; I/O terms are untouched), and the
+// speedup must clamp to the machine's core count.
+func TestCalibrateWithProfileScalesFlops(t *testing.T) {
+	mt, err := cloud.TypeByName("c1.medium") // 2 cores
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Calibrate(mt, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &tune.Profile{
+		Version:  tune.ProfileVersion,
+		Best:     tune.Point{Shape: linalg.BlockDefaults(), Workers: 2, MFlops: 200},
+		Baseline: tune.Point{Shape: linalg.BlockDefaults(), Workers: 1, MFlops: 100},
+		Points:   []tune.Point{{}},
+	}
+	tuned, err := CalibrateWithProfile(mt, 2, 42, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.KernelSpeedup != 2 {
+		t.Fatalf("KernelSpeedup = %v, want 2", tuned.KernelSpeedup)
+	}
+	if base.KernelSpeedup != 1 {
+		t.Fatalf("profile-less KernelSpeedup = %v, want 1", base.KernelSpeedup)
+	}
+	ratio := tuned.Model.BFlops / base.Model.BFlops
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Fatalf("BFlops ratio tuned/base = %v, want ~0.5 (base %v, tuned %v)",
+			ratio, base.Model.BFlops, tuned.Model.BFlops)
+	}
+	// A profile claiming more speedup than the machine has cores clamps.
+	prof.Best.MFlops = 1600 // 16x claim on a 2-core type
+	clamped, err := CalibrateWithProfile(mt, 2, 42, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.KernelSpeedup != 2 {
+		t.Fatalf("KernelSpeedup = %v, want clamp to 2 cores", clamped.KernelSpeedup)
 	}
 }
 

@@ -34,16 +34,25 @@ func round3(v float64) float64 {
 // Queue-wait, compile, run and end-to-end histograms all use it.
 var LatencyBuckets = LogBuckets(-3, 3, 3)
 
-// QuantileFromBuckets estimates the q-quantile (0 < q < 1) of a
-// histogram from its bucket upper bounds and *cumulative* counts
-// (len(cumulative) == len(bounds)+1; the last entry is the +Inf
-// bucket's total). The estimate interpolates linearly inside the target
-// bucket, Prometheus histogram_quantile style: the true quantile is
-// somewhere in the bucket, and a uniform within-bucket assumption is
-// the standard answer. Returns 0 for an empty histogram; a rank landing
-// in the +Inf bucket returns the largest finite bound. Clients
-// consuming /metrics.json (the load generator's SLO report) share this
-// exact computation with the server-side HistSeries.Quantile.
+// QuantileFromBuckets estimates the q-quantile of a histogram from its
+// bucket upper bounds and *cumulative* counts (len(cumulative) ==
+// len(bounds)+1; the last entry is the +Inf bucket's total). The
+// estimate interpolates linearly inside the target bucket, Prometheus
+// histogram_quantile style: the true quantile is somewhere in the
+// bucket, and a uniform within-bucket assumption is the standard
+// answer.
+//
+// Boundary behavior: q clamps into [0, 1]; empty buckets are never the
+// target (the rank is carried to the first bucket that actually holds
+// samples), so q=0 returns the lower bound of the first nonempty bucket
+// — the best lower estimate of the minimum — rather than a bound an
+// empty first bucket would fabricate, and q=1 returns the upper bound
+// of the last nonempty finite bucket without relying on the +Inf
+// fallback. Returns 0 for an empty histogram; a rank held by the +Inf
+// bucket returns the largest finite bound. HistSeries.Quantile shares
+// this exact computation, so clients consuming /metrics.json (the load
+// generator's SLO report) agree with the server's own quantiles at
+// every boundary.
 func QuantileFromBuckets(bounds []float64, cumulative []uint64, q float64) float64 {
 	if len(cumulative) == 0 || len(cumulative) != len(bounds)+1 {
 		return 0
@@ -59,22 +68,24 @@ func QuantileFromBuckets(bounds []float64, cumulative []uint64, q float64) float
 		q = 1
 	}
 	rank := q * float64(total)
+	prev := uint64(0)
 	for i, ub := range bounds {
-		if float64(cumulative[i]) >= rank {
+		cur := cumulative[i]
+		// The target bucket must both reach the rank and be nonempty:
+		// for any 0 < rank <= total the first bucket reaching it is
+		// nonempty automatically, and for rank 0 the emptiness check is
+		// what skips leading empty buckets instead of matching bucket 0
+		// unconditionally.
+		if cur > prev && float64(cur) >= rank {
 			lo := 0.0
-			prev := uint64(0)
 			if i > 0 {
 				lo = bounds[i-1]
-				prev = cumulative[i-1]
 			}
-			in := cumulative[i] - prev
-			if in == 0 {
-				return ub
-			}
-			return lo + (ub-lo)*(rank-float64(prev))/float64(in)
+			return lo + (ub-lo)*(rank-float64(prev))/float64(cur-prev)
 		}
+		prev = cur
 	}
-	// Rank falls in the +Inf bucket: the best bounded answer is the
+	// Rank held by the +Inf bucket: the best bounded answer is the
 	// largest finite bound.
 	if len(bounds) == 0 {
 		return 0

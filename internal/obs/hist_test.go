@@ -52,6 +52,73 @@ func TestQuantileFromBuckets(t *testing.T) {
 	}
 }
 
+// TestQuantileBoundaries holds BOTH quantile implementations — the
+// standalone QuantileFromBuckets and HistSeries.Quantile — to the same
+// boundary behavior: empty histograms, single-bucket layouts, leading
+// empty buckets, and q ∈ {0, 0.5, 1}. A divergence here means the load
+// generator's client-side SLO math disagrees with the server's.
+func TestQuantileBoundaries(t *testing.T) {
+	type layout struct {
+		name    string
+		bounds  []float64
+		samples []float64 // observed through HistSeries
+	}
+	layouts := []layout{
+		{"empty", []float64{1, 2, 4}, nil},
+		{"single-bucket", []float64{2}, []float64{1, 1.5}},
+		{"leading-empty", []float64{1, 2, 4, 8}, []float64{3, 3, 5}},
+		{"all-first", []float64{1, 2}, []float64{0.5, 0.5, 0.5, 0.5}},
+		{"inf-tail", []float64{1, 2}, []float64{0.5, 99}},
+	}
+	quantiles := []float64{0, 0.5, 1}
+	want := map[string][3]float64{
+		// q=0 → lower bound of the first nonempty bucket (not a bound
+		// fabricated by an empty bucket); q=1 → upper bound of the last
+		// nonempty finite bucket (or the largest finite bound when the
+		// +Inf bucket holds the rank); q=0.5 interpolates.
+		"empty":         {0, 0, 0},
+		"single-bucket": {0, 1, 2},
+		// leading-empty p50: rank 1.5 with cumulative {0,0,2,3}: bucket
+		// (2,4] holds it → 2 + 2*(1.5-0)/2 = 3.5.
+		"leading-empty": {2, 3.5, 8},
+		"all-first":     {0, 0.5, 1},
+		// inf-tail p50: rank 1 lands on the first bucket's upper edge.
+		"inf-tail": {0, 1, 2},
+	}
+	for _, l := range layouts {
+		r := NewRegistry()
+		s := r.Histogram("q_"+l.name, "boundary test", l.bounds).With()
+		for _, v := range l.samples {
+			s.Observe(v)
+		}
+		bounds, counts := s.Buckets()
+		cum := make([]uint64, len(counts))
+		var c uint64
+		for i, v := range counts {
+			c += v
+			cum[i] = c
+		}
+		for qi, q := range quantiles {
+			fromBuckets := QuantileFromBuckets(bounds, cum, q)
+			fromSeries := s.Quantile(q)
+			if fromBuckets != fromSeries {
+				t.Errorf("%s q=%v: QuantileFromBuckets=%v but HistSeries.Quantile=%v",
+					l.name, q, fromBuckets, fromSeries)
+			}
+			if w := want[l.name][qi]; math.Abs(fromBuckets-w) > 1e-12 {
+				t.Errorf("%s q=%v = %v, want %v", l.name, q, fromBuckets, w)
+			}
+		}
+		// Out-of-range q clamps rather than extrapolating.
+		if got := QuantileFromBuckets(bounds, cum, -3); got != QuantileFromBuckets(bounds, cum, 0) {
+			t.Errorf("%s: q=-3 (%v) does not clamp to q=0 (%v)", l.name, got, QuantileFromBuckets(bounds, cum, 0))
+		}
+		if got := s.Quantile(7); got != s.Quantile(1) {
+			t.Errorf("%s: q=7 (%v) does not clamp to q=1 (%v)", l.name, got, s.Quantile(1))
+		}
+	}
+}
+
 func TestHistSeriesQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", "latency", []float64{1, 2, 4})

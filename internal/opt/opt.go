@@ -21,6 +21,7 @@ import (
 
 	"cumulon/internal/cloud"
 	"cumulon/internal/lang"
+	"cumulon/internal/linalg/tune"
 	"cumulon/internal/model"
 	"cumulon/internal/plan"
 	"cumulon/internal/sim"
@@ -157,13 +158,30 @@ type Result struct {
 type Optimizer struct {
 	seed int64
 
-	mu     sync.Mutex
-	models map[string]*model.TaskModel
+	mu      sync.Mutex
+	models  map[string]*model.TaskModel
+	profile *tune.Profile
 }
 
 // New creates an optimizer; seed drives calibration determinism.
 func New(seed int64) *Optimizer {
 	return &Optimizer{seed: seed, models: map[string]*model.TaskModel{}}
+}
+
+// UseKernelProfile attaches a kernel autotuner profile
+// (internal/linalg/tune) to every subsequent calibration: the measured
+// parallel speedup scales each machine type's effective throughput, so
+// search estimates track the tuned kernel tier. Passing nil reverts to
+// catalog throughput. Cached models calibrated under a different
+// profile are discarded.
+func (o *Optimizer) UseKernelProfile(p *tune.Profile) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.profile == p {
+		return
+	}
+	o.profile = p
+	o.models = map[string]*model.TaskModel{}
 }
 
 // ModelFor returns the (cached) calibrated model for a machine type and
@@ -186,14 +204,19 @@ func (o *Optimizer) modelFor(mt cloud.MachineType, slots int, rec SearchRecorder
 		rec.Count(CounterModelCacheHits, 1)
 		return m, nil
 	}
+	prof := o.profile
 	o.mu.Unlock()
 	rec.Count(CounterModelCacheMisses, 1)
-	res, err := model.Calibrate(mt, slots, o.seed)
+	res, err := model.CalibrateWithProfile(mt, slots, o.seed, prof)
 	if err != nil {
 		return nil, err
 	}
 	o.mu.Lock()
-	o.models[key] = res.Model
+	// A concurrent UseKernelProfile invalidates this calibration: drop it
+	// rather than poisoning the fresh cache.
+	if o.profile == prof {
+		o.models[key] = res.Model
+	}
 	o.mu.Unlock()
 	return res.Model, nil
 }

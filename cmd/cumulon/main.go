@@ -28,12 +28,14 @@ import (
 	"strings"
 
 	"cumulon/internal/chaos"
+	"cumulon/internal/ckpt"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
 	"cumulon/internal/obs"
 	"cumulon/internal/opt"
 	"cumulon/internal/plan"
+	"cumulon/internal/server"
 )
 
 func main() {
@@ -86,6 +88,12 @@ func run(args []string) error {
 		"inject a deterministic fault schedule, e.g. \"seed=7,kill=3@120,taskfault=0.02,readfault=0.01\" (kill=NODE@SECONDS repeats)")
 	maxRetries := fs.Int("max-retries", 0,
 		"per-task retry budget under faults (0 = default of 3, negative = no retries)")
+	checkpoint := fs.Int("checkpoint", 0,
+		"checkpoint the program at every Nth iteration boundary into -state-dir (0 = off)")
+	resume := fs.Bool("resume", false,
+		"resume from the newest valid checkpoint in -state-dir instead of recomputing finished iterations")
+	stateDir := fs.String("state-dir", "",
+		"directory holding program checkpoints for -checkpoint/-resume")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +219,21 @@ func run(args []string) error {
 	}
 
 	opts := core.ExecOptions{Cluster: cluster, Workers: *workers, KernelParallelism: *kernelPar, Chaos: sched, MaxTaskRetries: *maxRetries}
+	if *resume && *checkpoint <= 0 {
+		return fmt.Errorf("-resume requires -checkpoint N (the cadence is part of the checkpoint identity)")
+	}
+	if *checkpoint > 0 {
+		if *stateDir == "" {
+			return fmt.Errorf("-checkpoint/-resume require -state-dir")
+		}
+		cs, err := ckpt.NewDirStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		opts.CheckpointEvery = *checkpoint
+		opts.CheckpointStore = cs
+		opts.Resume = *resume
+	}
 	if *materialize {
 		opts.Inputs = core.RandomInputs(prog, cfg, *seed)
 	}
@@ -280,9 +303,18 @@ func run(args []string) error {
 			m.NodeCrashes, m.TotalRetries, m.RecoverySeconds,
 			float64(m.RereplicatedBytes)/1e9, m.BlocksLost)
 	}
+	if m := res.Metrics; m.Checkpoints > 0 || m.ResumedFromStmt > 0 {
+		fmt.Printf("checkpoint: %d written (%.2f GB, %.1fs overhead)", m.Checkpoints,
+			float64(m.CheckpointBytes)/1e9, m.CheckpointSeconds)
+		if m.ResumedFromStmt > 0 {
+			fmt.Printf("; resumed from stmt %d, %d jobs skipped", m.ResumedFromStmt, m.ResumeSkippedJobs)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("bill: $%.2f\n", res.CostDollars)
-	for name, d := range res.Outputs {
-		fmt.Printf("output %s: %dx%d, frobenius %.4g\n", name, d.Rows, d.Cols, d.FrobeniusNorm())
+	for _, o := range server.DigestOutputs(res.Outputs) {
+		fmt.Printf("output %s: %dx%d, frobenius %.4g, sha256 %s\n",
+			o.Name, o.Rows, o.Cols, o.Frobenius, o.SHA256)
 	}
 	return nil
 }
@@ -296,20 +328,28 @@ func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
 		Seconds float64 `json:"seconds"`
 	}
 	report := struct {
-		Cluster      string   `json:"cluster"`
-		Machine      string   `json:"machine"`
-		Nodes        int      `json:"nodes"`
-		Slots        int      `json:"slots"`
-		TotalSeconds float64  `json:"total_seconds"`
-		CostDollars  float64  `json:"cost_dollars"`
-		TotalGflops  float64  `json:"total_gflops"`
-		ReadGB       float64  `json:"read_gb"`
-		WriteGB      float64  `json:"write_gb"`
-		NodeCrashes  int      `json:"node_crashes,omitempty"`
-		Retries      int      `json:"retries,omitempty"`
-		RecoverySec  float64  `json:"recovery_seconds,omitempty"`
-		RereplGB     float64  `json:"rereplicated_gb,omitempty"`
-		Jobs         []jobOut `json:"jobs"`
+		Cluster      string  `json:"cluster"`
+		Machine      string  `json:"machine"`
+		Nodes        int     `json:"nodes"`
+		Slots        int     `json:"slots"`
+		TotalSeconds float64 `json:"total_seconds"`
+		CostDollars  float64 `json:"cost_dollars"`
+		TotalGflops  float64 `json:"total_gflops"`
+		ReadGB       float64 `json:"read_gb"`
+		WriteGB      float64 `json:"write_gb"`
+		NodeCrashes  int     `json:"node_crashes,omitempty"`
+		Retries      int     `json:"retries,omitempty"`
+		RecoverySec  float64 `json:"recovery_seconds,omitempty"`
+		RereplGB     float64 `json:"rereplicated_gb,omitempty"`
+		Checkpoints  int     `json:"checkpoints,omitempty"`
+		CheckpointGB float64 `json:"checkpoint_gb,omitempty"`
+		ResumedStmt  int     `json:"resumed_from_stmt,omitempty"`
+
+		// Outputs carries sorted name/shape/digest records for
+		// materialized runs; digests match cumulond's, so resumed,
+		// rerun and server-side results can be diffed directly.
+		Outputs []server.OutputInfo `json:"outputs,omitempty"`
+		Jobs    []jobOut            `json:"jobs"`
 	}{
 		Cluster:      cluster.String(),
 		Machine:      cluster.Type.Name,
@@ -324,6 +364,10 @@ func emitJSON(cluster cloud.Cluster, res *core.ExecResult) error {
 		Retries:      res.Metrics.TotalRetries,
 		RecoverySec:  res.Metrics.RecoverySeconds,
 		RereplGB:     float64(res.Metrics.RereplicatedBytes) / 1e9,
+		Checkpoints:  res.Metrics.Checkpoints,
+		CheckpointGB: float64(res.Metrics.CheckpointBytes) / 1e9,
+		ResumedStmt:  res.Metrics.ResumedFromStmt,
+		Outputs:      server.DigestOutputs(res.Outputs),
 	}
 	for _, j := range res.Metrics.Jobs {
 		report.Jobs = append(report.Jobs, jobOut{Name: j.Name, Kind: j.Kind, Tasks: j.Tasks, Seconds: j.Seconds()})

@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	jobHistory := fs.Int("job-history", 512, "terminal jobs retained before the oldest are pruned")
 	artifactHistory := fs.Int("artifact-history", 64, "finished jobs that keep retained trace/critpath/metrics/explain artifacts")
 	eventBuffer := fs.Int("event-buffer", 4096, "per-job event ring-buffer size")
+	stateDir := fs.String("state-dir", "", "durable state directory: job-store journal plus program checkpoints; a restarted server recovers its job history and resumes in-flight jobs")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,7 +61,7 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, Workers: *workers, MaxQueue: *maxQueue,
 		CacheSize: *cacheSize, JobHistory: *jobHistory,
 		ArtifactHistory: *artifactHistory, EventBuffer: *eventBuffer,
-		Pprof: *pprofFlag,
+		Pprof: *pprofFlag, StateDir: *stateDir,
 		Sched: server.SchedConfig{
 			Weights: w, AgingRate: *aging,
 			PriorityBoost: *boost, ReserveAfterSec: *reserve,

@@ -64,6 +64,13 @@ type Schedule struct {
 	ReadFaultProb float64
 	// Targets pins additional deterministic faults to specific tasks.
 	Targets []TargetFault
+	// KillProgramAt, when positive, kills the whole program at the first
+	// job released at or after this virtual time: the engine aborts with
+	// a ProgramKilled error instead of starting that job. Paired with
+	// program-level checkpointing, this is the crash half of crash-resume
+	// testing — a later run resumes from the last checkpoint and must
+	// finish bit-identically to an uninterrupted run.
+	KillProgramAt float64
 }
 
 // Validate checks the schedule's knobs are sane.
@@ -85,6 +92,9 @@ func (s *Schedule) Validate() error {
 	if s.ReadFaultProb < 0 || s.ReadFaultProb > 1 {
 		return fmt.Errorf("chaos: readfault %g outside [0,1]", s.ReadFaultProb)
 	}
+	if s.KillProgramAt < 0 {
+		return fmt.Errorf("chaos: negative kill-program time %g", s.KillProgramAt)
+	}
 	return nil
 }
 
@@ -102,6 +112,9 @@ func (s *Schedule) String() string {
 	}
 	if s.ReadFaultProb > 0 {
 		parts = append(parts, fmt.Sprintf("readfault=%s", strconv.FormatFloat(s.ReadFaultProb, 'g', -1, 64)))
+	}
+	if s.KillProgramAt > 0 {
+		parts = append(parts, fmt.Sprintf("kill-program@%s", strconv.FormatFloat(s.KillProgramAt, 'g', -1, 64)))
 	}
 	return strings.Join(parts, ",")
 }
@@ -121,6 +134,14 @@ func Parse(spec string) (*Schedule, error) {
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
+			continue
+		}
+		if atStr, ok := strings.CutPrefix(part, "kill-program@"); ok {
+			at, err := strconv.ParseFloat(atStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad kill-program time %q: %w", atStr, err)
+			}
+			s.KillProgramAt = at
 			continue
 		}
 		key, val, ok := strings.Cut(part, "=")
@@ -161,7 +182,7 @@ func Parse(spec string) (*Schedule, error) {
 			}
 			s.ReadFaultProb = v
 		default:
-			return nil, fmt.Errorf("chaos: unknown key %q (want seed, kill, taskfault or readfault)", key)
+			return nil, fmt.Errorf("chaos: unknown key %q (want seed, kill, taskfault, readfault or kill-program@T)", key)
 		}
 	}
 	if err := s.Validate(); err != nil {
@@ -200,6 +221,38 @@ func (in *Injector) NextCrash(now float64) (NodeCrash, bool) {
 	c := in.crashes[in.next]
 	in.next++
 	return c, true
+}
+
+// Delivered returns how many crashes have been delivered so far.
+// Checkpoint manifests record it so restore can realign delivery state.
+func (in *Injector) Delivered() int {
+	if in == nil {
+		return 0
+	}
+	return in.next
+}
+
+// SkipDelivered marks the first n crashes as already delivered (restore
+// path: those crashes fired before the checkpoint and their effects are
+// encoded in the manifest's dead-node and placement state).
+func (in *Injector) SkipDelivered(n int) {
+	if in == nil {
+		return
+	}
+	if n > len(in.crashes) {
+		n = len(in.crashes)
+	}
+	if n > in.next {
+		in.next = n
+	}
+}
+
+// KillProgramAt returns the schedule's program-kill time (0 = none).
+func (in *Injector) KillProgramAt() float64 {
+	if in == nil {
+		return 0
+	}
+	return in.s.KillProgramAt
 }
 
 // CrashedBefore counts the crashes scheduled strictly before the virtual

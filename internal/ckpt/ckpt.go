@@ -1,0 +1,314 @@
+// Package ckpt implements program-level checkpoint/restore for the
+// execution engine: the durable manifest format that captures the state
+// of an iterative program at an iteration boundary, and the stores that
+// persist manifests across process lifetimes.
+//
+// A checkpoint is taken at an iteration boundary (package lang's
+// `checkpoint` markers, projected onto job IDs by the planner): every
+// job up to the boundary has completed and the only state a resuming
+// run needs is the set of materialized matrices those jobs produced,
+// plus the small amount of engine state that makes the resumed tail
+// bit-identical to an uninterrupted run — the virtual clock, the set of
+// dead datanodes, the chaos-delivery cursor, and the exact block
+// placement of every tile. The engine reseeds its noise and placement
+// random streams at every boundary (from the run seed and the boundary
+// position), so the manifest never needs to capture generator state.
+//
+// Manifests are versioned, digest-carrying JSON: the Digest field is
+// the SHA-256 of the manifest encoded with Digest empty, so any
+// corruption — truncation, bit flips, a partial write — is detected at
+// decode time and the manifest is rejected rather than resumed from.
+// Tile payloads are content-addressed by their own SHA-256, verified on
+// load.
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Version is the current manifest format version. Decoders reject
+// anything else: resuming from a half-understood manifest is worse
+// than restarting.
+const Version = 1
+
+// Tile records one stored tile file of a checkpointed matrix: where
+// its block replicas lived, how big it was, and (for materialized
+// runs) the content digest keying its payload in the Checkpoint.
+type Tile struct {
+	// Path is the DFS path of the tile file.
+	Path string `json:"path"`
+	// Bytes is the file size.
+	Bytes int64 `json:"bytes"`
+	// Replicas lists the datanode ids holding each block, in block
+	// order, exactly as the checkpointing run had them placed
+	// (including any post-failure re-replication).
+	Replicas [][]int `json:"replicas"`
+	// Digest is the hex SHA-256 of the tile payload; empty for virtual
+	// tiles, which have placement and size but no content.
+	Digest string `json:"digest,omitempty"`
+}
+
+// Matrix is one checkpointed matrix: a job output that existed on the
+// DFS at the boundary.
+type Matrix struct {
+	Name     string  `json:"name"`
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	TileSize int     `json:"tile_size"`
+	Sparse   bool    `json:"sparse,omitempty"`
+	Density  float64 `json:"density,omitempty"`
+	Tiles    []Tile  `json:"tiles"`
+}
+
+// Manifest is the durable record of one checkpoint: program hash ×
+// config hash × iteration boundary → the set of materialized matrices
+// plus the engine state needed for bit-identical resume.
+type Manifest struct {
+	// FormatVersion must equal Version.
+	FormatVersion int `json:"version"`
+	// Program is the hex SHA-256 of the (rewritten) program source; a
+	// manifest only resumes the exact program that wrote it.
+	Program string `json:"program"`
+	// Config is the hex SHA-256 of the execution configuration
+	// (cluster, seeds, fault schedule, checkpoint cadence, ...); any
+	// difference would change the timeline, so resume refuses it.
+	Config string `json:"config"`
+	// Iter is the 1-based ordinal of the boundary among the program's
+	// checkpointed boundaries.
+	Iter int `json:"iter"`
+	// Stmt counts completed program statements at the boundary.
+	Stmt int `json:"stmt"`
+	// BoundaryJob is the highest completed job ID.
+	BoundaryJob int `json:"boundary_job"`
+	// ClockSec is the virtual clock after the checkpoint write; the
+	// resumed run restarts its clock here.
+	ClockSec float64 `json:"clock_sec"`
+	// ChaosDelivered is the fault injector's delivered-crash cursor at
+	// the boundary; the resumed run skips that many crashes (their
+	// effects are already encoded in DeadNodes and Replicas).
+	ChaosDelivered int `json:"chaos_delivered,omitempty"`
+	// DeadNodes lists datanodes dead at the boundary, ascending.
+	DeadNodes []int `json:"dead_nodes,omitempty"`
+	// Matrices are the checkpointed matrices, in job order.
+	Matrices []Matrix `json:"matrices"`
+	// Digest is the hex SHA-256 of this manifest encoded with Digest
+	// empty; it seals everything above.
+	Digest string `json:"digest"`
+}
+
+// Checkpoint pairs a manifest with the tile payloads it references,
+// keyed by their hex SHA-256 content digest. Virtual runs carry no
+// payloads.
+type Checkpoint struct {
+	Manifest *Manifest
+	Payloads map[string][]byte
+}
+
+// HashBytes returns the hex SHA-256 of data.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashString returns the hex SHA-256 of s; callers use it for program
+// and config hashes.
+func HashString(s string) string { return HashBytes([]byte(s)) }
+
+// Seal computes and embeds the manifest's digest over every other
+// field; call it once all fields are final, before handing the
+// manifest to a Store.
+func (m *Manifest) Seal() error {
+	m.Digest = ""
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("ckpt: seal: %w", err)
+	}
+	m.Digest = HashBytes(body)
+	return nil
+}
+
+// Encode serializes the manifest, computing and embedding its digest.
+// The receiver is not mutated.
+func Encode(m *Manifest) ([]byte, error) {
+	sealed := *m
+	sealed.Digest = ""
+	body, err := json.Marshal(&sealed)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
+	sealed.Digest = HashBytes(body)
+	out, err := json.Marshal(&sealed)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
+	return out, nil
+}
+
+// Decode parses and fully validates a manifest: JSON shape (unknown
+// fields rejected), version, structural invariants, and the embedded
+// digest. Anything invalid returns an error — a corrupted or truncated
+// manifest must never be resumed from.
+func Decode(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("ckpt: decode: %w", err)
+	}
+	// Trailing garbage after the JSON value is corruption, not padding.
+	if dec.More() {
+		return nil, fmt.Errorf("ckpt: decode: trailing data after manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's structural invariants and its
+// embedded digest.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != Version {
+		return fmt.Errorf("ckpt: unsupported manifest version %d (want %d)", m.FormatVersion, Version)
+	}
+	if !isHexDigest(m.Program) {
+		return fmt.Errorf("ckpt: bad program hash %q", m.Program)
+	}
+	if !isHexDigest(m.Config) {
+		return fmt.Errorf("ckpt: bad config hash %q", m.Config)
+	}
+	if m.Iter < 1 {
+		return fmt.Errorf("ckpt: iteration ordinal %d < 1", m.Iter)
+	}
+	if m.Stmt < 1 {
+		return fmt.Errorf("ckpt: boundary statement %d < 1", m.Stmt)
+	}
+	if m.BoundaryJob < 0 {
+		return fmt.Errorf("ckpt: negative boundary job %d", m.BoundaryJob)
+	}
+	if m.ClockSec < 0 || math.IsNaN(m.ClockSec) || math.IsInf(m.ClockSec, 0) {
+		return fmt.Errorf("ckpt: bad clock %v", m.ClockSec)
+	}
+	if m.ChaosDelivered < 0 {
+		return fmt.Errorf("ckpt: negative chaos cursor %d", m.ChaosDelivered)
+	}
+	for i, n := range m.DeadNodes {
+		if n < 0 {
+			return fmt.Errorf("ckpt: negative dead node %d", n)
+		}
+		if i > 0 && m.DeadNodes[i-1] >= n {
+			return fmt.Errorf("ckpt: dead nodes not strictly ascending at %d", n)
+		}
+	}
+	if len(m.Matrices) == 0 {
+		return fmt.Errorf("ckpt: manifest has no matrices")
+	}
+	seenMatrix := map[string]bool{}
+	seenPath := map[string]bool{}
+	for _, mx := range m.Matrices {
+		if mx.Name == "" {
+			return fmt.Errorf("ckpt: matrix with empty name")
+		}
+		if seenMatrix[mx.Name] {
+			return fmt.Errorf("ckpt: duplicate matrix %s", mx.Name)
+		}
+		seenMatrix[mx.Name] = true
+		if mx.Rows <= 0 || mx.Cols <= 0 || mx.TileSize <= 0 {
+			return fmt.Errorf("ckpt: matrix %s has bad shape %dx%d tile %d", mx.Name, mx.Rows, mx.Cols, mx.TileSize)
+		}
+		if len(mx.Tiles) == 0 {
+			return fmt.Errorf("ckpt: matrix %s has no tiles", mx.Name)
+		}
+		for _, t := range mx.Tiles {
+			if t.Path == "" {
+				return fmt.Errorf("ckpt: matrix %s has a tile with no path", mx.Name)
+			}
+			if seenPath[t.Path] {
+				return fmt.Errorf("ckpt: duplicate tile path %s", t.Path)
+			}
+			seenPath[t.Path] = true
+			if t.Bytes < 0 {
+				return fmt.Errorf("ckpt: tile %s has negative size", t.Path)
+			}
+			if len(t.Replicas) == 0 {
+				return fmt.Errorf("ckpt: tile %s has no block replicas", t.Path)
+			}
+			for _, blk := range t.Replicas {
+				if len(blk) == 0 {
+					return fmt.Errorf("ckpt: tile %s has a block with no replicas", t.Path)
+				}
+				for _, n := range blk {
+					if n < 0 {
+						return fmt.Errorf("ckpt: tile %s replica on negative node %d", t.Path, n)
+					}
+				}
+			}
+			if t.Digest != "" && !isHexDigest(t.Digest) {
+				return fmt.Errorf("ckpt: tile %s has bad digest %q", t.Path, t.Digest)
+			}
+		}
+	}
+	sealed := *m
+	sealed.Digest = ""
+	body, err := json.Marshal(&sealed)
+	if err != nil {
+		return fmt.Errorf("ckpt: validate: %w", err)
+	}
+	if want := HashBytes(body); m.Digest != want {
+		return fmt.Errorf("ckpt: manifest digest mismatch (corrupted or tampered)")
+	}
+	return nil
+}
+
+// PayloadDigests returns the distinct non-empty tile digests the
+// manifest references, sorted.
+func (m *Manifest) PayloadDigests() []string {
+	set := map[string]bool{}
+	for _, mx := range m.Matrices {
+		for _, t := range mx.Tiles {
+			if t.Digest != "" {
+				set[t.Digest] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VerifyPayloads checks that every payload the manifest references is
+// present and matches its content digest.
+func (c *Checkpoint) VerifyPayloads() error {
+	for _, d := range c.Manifest.PayloadDigests() {
+		data, ok := c.Payloads[d]
+		if !ok {
+			return fmt.Errorf("ckpt: missing payload %s", d)
+		}
+		if HashBytes(data) != d {
+			return fmt.Errorf("ckpt: payload %s fails its digest", d)
+		}
+	}
+	return nil
+}
+
+func isHexDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

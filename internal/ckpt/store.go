@@ -1,0 +1,214 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store persists checkpoints and serves the newest valid one back.
+// Implementations must tolerate torn writes from killed processes:
+// Latest skips anything that fails validation rather than erroring the
+// resume.
+type Store interface {
+	// Save durably records a checkpoint. Saving a later boundary of the
+	// same (program, config) key supersedes earlier ones.
+	Save(c *Checkpoint) error
+	// Latest returns the newest valid checkpoint for the key, or
+	// (nil, nil) when none exists.
+	Latest(programHash, configHash string) (*Checkpoint, error)
+}
+
+// MemStore is an in-process Store: it backs tests and cumulond
+// instances that do not need cross-process durability. Safe for
+// concurrent use.
+type MemStore struct {
+	mu    sync.Mutex
+	byKey map[string]*Checkpoint
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{byKey: map[string]*Checkpoint{}}
+}
+
+// Save validates and records the checkpoint, keeping only the newest
+// boundary per key. Manifest and payloads are deep-copied so later
+// caller mutations cannot corrupt the store.
+func (s *MemStore) Save(c *Checkpoint) error {
+	if err := validateForSave(c); err != nil {
+		return err
+	}
+	cp := &Checkpoint{Manifest: &Manifest{}, Payloads: map[string][]byte{}}
+	*cp.Manifest = *c.Manifest
+	for _, d := range c.Manifest.PayloadDigests() {
+		cp.Payloads[d] = append([]byte(nil), c.Payloads[d]...)
+	}
+	key := c.Manifest.Program + "/" + c.Manifest.Config
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev := s.byKey[key]; prev == nil || prev.Manifest.Iter < cp.Manifest.Iter {
+		s.byKey[key] = cp
+	}
+	return nil
+}
+
+// Latest returns a copy of the newest checkpoint for the key, or nil.
+func (s *MemStore) Latest(programHash, configHash string) (*Checkpoint, error) {
+	s.mu.Lock()
+	c := s.byKey[programHash+"/"+configHash]
+	s.mu.Unlock()
+	if c == nil {
+		return nil, nil
+	}
+	cp := &Checkpoint{Manifest: &Manifest{}, Payloads: map[string][]byte{}}
+	*cp.Manifest = *c.Manifest
+	for d, b := range c.Payloads {
+		cp.Payloads[d] = append([]byte(nil), b...)
+	}
+	return cp, nil
+}
+
+// DirStore is a filesystem Store rooted at a directory:
+//
+//	<root>/<prog8>-<cfg8>/iter-<n>/manifest.json
+//	<root>/<prog8>-<cfg8>/iter-<n>/tiles/<digest>.bin
+//
+// Manifests are written to a temp file and renamed into place, so a
+// process killed mid-checkpoint leaves at worst an orphan temp file or
+// a tiles directory without a manifest — never a manifest that
+// validates but references missing payloads (Latest re-verifies
+// payload digests and skips such boundaries).
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if root == "" {
+		return nil, fmt.Errorf("ckpt: empty store directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create store: %w", err)
+	}
+	return &DirStore{root: root}, nil
+}
+
+// Root returns the store's root directory.
+func (s *DirStore) Root() string { return s.root }
+
+func (s *DirStore) keyDir(programHash, configHash string) string {
+	return filepath.Join(s.root, programHash[:8]+"-"+configHash[:8])
+}
+
+// Save writes the checkpoint's payloads and then its manifest,
+// manifest last so a boundary only becomes visible once complete.
+func (s *DirStore) Save(c *Checkpoint) error {
+	if err := validateForSave(c); err != nil {
+		return err
+	}
+	m := c.Manifest
+	dir := filepath.Join(s.keyDir(m.Program, m.Config), fmt.Sprintf("iter-%d", m.Iter))
+	tiles := filepath.Join(dir, "tiles")
+	if err := os.MkdirAll(tiles, 0o755); err != nil {
+		return fmt.Errorf("ckpt: save: %w", err)
+	}
+	for _, d := range m.PayloadDigests() {
+		path := filepath.Join(tiles, d+".bin")
+		if _, err := os.Stat(path); err == nil {
+			continue // content-addressed: already present
+		}
+		if err := writeAtomic(path, c.Payloads[d]); err != nil {
+			return err
+		}
+	}
+	enc, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, "manifest.json"), enc)
+}
+
+// Latest scans the key's boundaries newest-first and returns the first
+// one whose manifest decodes, validates, and has all payloads intact.
+// Corrupted or incomplete boundaries are skipped, never resumed from.
+func (s *DirStore) Latest(programHash, configHash string) (*Checkpoint, error) {
+	dir := s.keyDir(programHash, configHash)
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: latest: %w", err)
+	}
+	var iters []int
+	for _, e := range ents {
+		if n, ok := strings.CutPrefix(e.Name(), "iter-"); ok && e.IsDir() {
+			if i, err := strconv.Atoi(n); err == nil && i >= 1 {
+				iters = append(iters, i)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+	for _, it := range iters {
+		c := s.load(filepath.Join(dir, fmt.Sprintf("iter-%d", it)), programHash, configHash)
+		if c != nil {
+			return c, nil
+		}
+	}
+	return nil, nil
+}
+
+// load reads one boundary directory, returning nil when anything about
+// it is invalid.
+func (s *DirStore) load(dir, programHash, configHash string) *Checkpoint {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil
+	}
+	m, err := Decode(raw)
+	if err != nil {
+		return nil
+	}
+	if m.Program != programHash || m.Config != configHash {
+		return nil
+	}
+	c := &Checkpoint{Manifest: m, Payloads: map[string][]byte{}}
+	for _, d := range m.PayloadDigests() {
+		data, err := os.ReadFile(filepath.Join(dir, "tiles", d+".bin"))
+		if err != nil {
+			return nil
+		}
+		c.Payloads[d] = data
+	}
+	if c.VerifyPayloads() != nil {
+		return nil
+	}
+	return c
+}
+
+func validateForSave(c *Checkpoint) error {
+	if c == nil || c.Manifest == nil {
+		return fmt.Errorf("ckpt: save: nil checkpoint")
+	}
+	if err := c.Manifest.Validate(); err != nil {
+		return err
+	}
+	return c.VerifyPayloads()
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}

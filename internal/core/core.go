@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"cumulon/internal/chaos"
+	"cumulon/internal/ckpt"
 	"cumulon/internal/cloud"
 	"cumulon/internal/exec"
 	"cumulon/internal/lang"
@@ -110,6 +111,15 @@ type ExecOptions struct {
 	// MaxTaskRetries bounds per-task retry attempts under faults
 	// (default 3; negative means no retries).
 	MaxTaskRetries int
+	// CheckpointEvery, when positive, checkpoints the program at every
+	// Nth iteration boundary (see exec.Config.CheckpointEvery).
+	CheckpointEvery int
+	// CheckpointStore persists program checkpoints across runs (see
+	// package ckpt). Required for Resume.
+	CheckpointStore ckpt.Store
+	// Resume fast-forwards past the jobs covered by the newest valid
+	// checkpoint of this exact program and configuration.
+	Resume bool
 }
 
 // ExecResult is one finished execution.
@@ -209,6 +219,9 @@ func (s *Session) execute(pl *plan.Plan, cluster cloud.Cluster, opts ExecOptions
 		Recorder:          opts.Recorder,
 		Chaos:             opts.Chaos,
 		MaxTaskRetries:    opts.MaxTaskRetries,
+		CheckpointEvery:   opts.CheckpointEvery,
+		CheckpointStore:   opts.CheckpointStore,
+		Resume:            opts.Resume,
 	})
 	if err != nil {
 		return nil, err

@@ -582,6 +582,96 @@ func (fs *FS) KillNode(node int) RecoveryReport {
 	return rep
 }
 
+// Reseed replaces the placement random stream with one derived from
+// seed. Program-level checkpointing reseeds at every iteration boundary
+// so that a run resumed from a checkpoint draws the same placement
+// stream as the run that wrote it, independent of how many draws either
+// consumed before the boundary.
+func (fs *FS) Reseed(seed int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rng = rand.New(rand.NewSource(seed))
+}
+
+// MarkDead marks a datanode dead without triggering re-replication or
+// accounting. Checkpoint restore uses it to reinstate the failure state
+// recorded in a manifest before rehydrating tiles (whose recorded
+// placements already reflect any pre-checkpoint recovery).
+func (fs *FS) MarkDead(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if node >= 0 && node < fs.cfg.Nodes {
+		fs.dead[node] = true
+	}
+}
+
+// BlockReplicas returns the replica node lists of the file's blocks, in
+// block order (live and dead replicas alike). Checkpoint manifests
+// record these so restore can reproduce placement exactly.
+func (fs *FS) BlockReplicas(path string) ([][]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([][]int, len(f.blocks))
+	for i, b := range f.blocks {
+		out[i] = append([]int(nil), b.replicas...)
+	}
+	return out, nil
+}
+
+// WritePlaced stores data under path with the given per-block replica
+// lists, bypassing placement randomness and write accounting: it is
+// pure bookkeeping, the restore half of checkpointing, reconstructing a
+// file exactly where the checkpointed run had it. data may be nil for a
+// virtual file of the given size. The replica lists must cover
+// ceil(size/BlockSize) blocks (minimum one) and be non-empty.
+func (fs *FS) WritePlaced(path string, data []byte, size int64, replicas [][]int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if data != nil {
+		size = int64(len(data))
+	}
+	if size < 0 {
+		return fmt.Errorf("dfs: negative size %d for %s", size, path)
+	}
+	nBlocks := int((size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize)
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	if len(replicas) != nBlocks {
+		return fmt.Errorf("dfs: %s wants %d block replica lists, got %d", path, nBlocks, len(replicas))
+	}
+	f := &file{size: size, virtual: data == nil}
+	for i := 0; i < nBlocks; i++ {
+		if len(replicas[i]) == 0 {
+			return fmt.Errorf("dfs: %s block %d has no replicas", path, i)
+		}
+		for _, r := range replicas[i] {
+			if r < 0 || r >= fs.cfg.Nodes {
+				return fmt.Errorf("dfs: %s block %d replica on unknown node %d", path, i, r)
+			}
+		}
+		off := int64(i) * fs.cfg.BlockSize
+		end := off + fs.cfg.BlockSize
+		if end > size {
+			end = size
+		}
+		b := &block{size: end - off, replicas: append([]int(nil), replicas[i]...)}
+		if data != nil {
+			b.data = append([]byte(nil), data[off:end]...)
+		}
+		f.blocks = append(f.blocks, b)
+	}
+	fs.files[path] = f
+	return nil
+}
+
 // NodeAlive reports whether the datanode is live.
 func (fs *FS) NodeAlive(node int) bool {
 	fs.mu.Lock()

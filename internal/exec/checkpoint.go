@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cumulon/internal/chaos"
+	"cumulon/internal/ckpt"
+	"cumulon/internal/obs"
+	"cumulon/internal/plan"
+	"cumulon/internal/store"
+)
+
+// ProgramKilled is the error Run returns when the chaos schedule's
+// kill-program entry fires: the engine aborts deterministically instead
+// of starting the first job released at or after the scheduled time.
+// Everything already checkpointed survives; a later run with Resume set
+// picks up from the last boundary.
+type ProgramKilled struct {
+	// At is the scheduled kill time.
+	At float64
+	// Clock is the virtual time of the aborted job's release.
+	Clock float64
+	// NextJob is the job that was about to start.
+	NextJob int
+}
+
+func (e *ProgramKilled) Error() string {
+	return fmt.Sprintf("exec: program killed at %.3fs (scheduled %.3fs, before job %d)", e.Clock, e.At, e.NextJob)
+}
+
+// ckptPoint is one boundary the run will checkpoint at, keyed in the
+// points map by its LastJob.
+type ckptPoint struct {
+	iter int // 1-based ordinal among the plan's boundaries
+	b    plan.Boundary
+}
+
+// checkpointSetup validates the checkpoint/resume configuration against
+// the plan, computes the program and config identity hashes, and
+// returns the boundaries to checkpoint at, keyed by boundary job ID.
+// Returns nil when checkpointing is off.
+func (e *Engine) checkpointSetup(p *plan.Plan) (map[int]ckptPoint, error) {
+	every := e.cfg.CheckpointEvery
+	if every < 0 {
+		return nil, fmt.Errorf("exec: negative CheckpointEvery %d", every)
+	}
+	if e.cfg.Resume {
+		if every == 0 {
+			return nil, fmt.Errorf("exec: Resume requires CheckpointEvery > 0 (the cadence is part of the checkpoint identity)")
+		}
+		if e.cfg.CheckpointStore == nil {
+			return nil, fmt.Errorf("exec: Resume requires a CheckpointStore")
+		}
+	}
+	if every == 0 {
+		return nil, nil
+	}
+	// Checkpoints are barriers on the global clock; the overlap
+	// scheduler's per-job release bookkeeping cannot be restored from one.
+	if e.cfg.OverlapJobs {
+		return nil, fmt.Errorf("exec: checkpointing requires barrier scheduling (disable OverlapJobs)")
+	}
+	e.progHash = ckpt.HashString(p.Program.String())
+	e.cfgHash = e.configHash(p)
+	lastJob := -1
+	if n := len(p.Jobs); n > 0 {
+		lastJob = p.Jobs[n-1].ID
+	}
+	points := map[int]ckptPoint{}
+	for i, b := range p.Boundaries {
+		if (i+1)%every != 0 {
+			continue
+		}
+		if b.LastJob >= lastJob {
+			continue // nothing runs after it; a checkpoint there is pure cost
+		}
+		points[b.LastJob] = ckptPoint{iter: i + 1, b: b}
+	}
+	return points, nil
+}
+
+// configHash fingerprints every configuration input that shapes the
+// run's timeline and placement. A checkpoint resumes only under the
+// exact same fingerprint. The chaos schedule is included minus its
+// kill-program entry: the killed run and the resuming run differ only
+// in that entry, and it never affects the surviving prefix.
+func (e *Engine) configHash(p *plan.Plan) string {
+	s := fmt.Sprintf(
+		"type=%s nodes=%d slots=%d repl=%d mat=%t interp=%t seed=%d noise=%g jobstartup=%g retries=%d backoff=%g rack=%d xrack=%g cache=%g spec=%t tile=%d every=%d chaos=%q targets=%v",
+		e.cfg.Cluster.Type.Name, e.cfg.Cluster.Nodes, e.cfg.Cluster.Slots,
+		e.cfg.Replication, e.cfg.Materialize, e.cfg.Interpret,
+		e.cfg.Seed, e.cfg.NoiseFactor, e.jobStartupSec,
+		e.maxTaskRetries, e.retryBackoffSec,
+		e.cfg.RackSize, e.crossRackPenalty, e.cfg.CacheFraction,
+		e.cfg.Speculation, p.TileSize, e.cfg.CheckpointEvery,
+		sanitizeChaos(e.cfg.Chaos).String(), sanitizeTargets(e.cfg.Chaos),
+	)
+	return ckpt.HashString(s)
+}
+
+// sanitizeChaos strips the kill-program entry from a schedule; a
+// schedule that injects nothing else collapses to nil so that a plain
+// run and a run that differs only by kill-program@t hash identically.
+func sanitizeChaos(s *chaos.Schedule) *chaos.Schedule {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.KillProgramAt = 0
+	if len(c.Crashes) == 0 && c.TaskFaultProb == 0 && c.ReadFaultProb == 0 && len(c.Targets) == 0 {
+		return nil
+	}
+	return &c
+}
+
+// sanitizeTargets renders the targeted faults (not covered by
+// Schedule.String) for the config fingerprint.
+func sanitizeTargets(s *chaos.Schedule) []chaos.TargetFault {
+	if s == nil {
+		return nil
+	}
+	return s.Targets
+}
+
+// mixSeed derives the boundary-local seed for stream s (splitmix64
+// finalizer): every iteration boundary restarts the noise and placement
+// random streams from mixSeed(seed, stmt), which is what makes a
+// resumed tail bit-identical to the uninterrupted run's tail.
+func mixSeed(seed int64, stmt int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(stmt+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// boundaryReset is the deterministic state barrier taken at every
+// checkpoint boundary, in the checkpointing run and the resuming run
+// alike: node tile caches flush (their contents are not persisted) and
+// both random streams reseed from the boundary position.
+func (e *Engine) boundaryReset(stmt int) {
+	e.resetCaches()
+	e.rng = rand.New(rand.NewSource(mixSeed(e.cfg.Seed, stmt)))
+	e.fs.Reseed(mixSeed(e.cfg.Seed+1, stmt))
+}
+
+// writeCheckpoint persists the program state at a boundary — every
+// matrix materialized by the jobs up to it, with exact block placement —
+// charges the write to the virtual clock as a CatCheckpoint span, and
+// performs the boundary reset. Returns the post-checkpoint clock.
+func (e *Engine) writeCheckpoint(p *plan.Plan, pt ckptPoint, clock float64, m *RunMetrics, prog obs.SpanID) (float64, error) {
+	man := &ckpt.Manifest{
+		FormatVersion:  ckpt.Version,
+		Program:        e.progHash,
+		Config:         e.cfgHash,
+		Iter:           pt.iter,
+		Stmt:           pt.b.Stmt,
+		BoundaryJob:    pt.b.LastJob,
+		ChaosDelivered: e.chaos.Delivered(),
+	}
+	payloads := map[string][]byte{}
+	var tileBytes int64
+	for _, j := range p.Jobs {
+		if j.ID > pt.b.LastJob {
+			continue
+		}
+		mx := ckpt.Matrix{
+			Name: j.Out.Name, Rows: j.Out.Rows, Cols: j.Out.Cols,
+			TileSize: j.Out.TileSize, Sparse: j.Out.Sparse, Density: j.Out.Density,
+		}
+		paths := e.fs.List(store.MatrixPrefix(j.Out.Name))
+		if len(paths) == 0 {
+			return 0, fmt.Errorf("exec: checkpoint@s%d: matrix %s has no tiles", pt.b.Stmt, j.Out.Name)
+		}
+		for _, path := range paths {
+			size, err := e.fs.Size(path)
+			if err != nil {
+				return 0, fmt.Errorf("exec: checkpoint@s%d: %w", pt.b.Stmt, err)
+			}
+			reps, err := e.fs.BlockReplicas(path)
+			if err != nil {
+				return 0, fmt.Errorf("exec: checkpoint@s%d: %w", pt.b.Stmt, err)
+			}
+			t := ckpt.Tile{Path: path, Bytes: size, Replicas: reps}
+			if e.cfg.Materialize {
+				data, err := e.fs.Peek(path)
+				if err != nil {
+					return 0, fmt.Errorf("exec: checkpoint@s%d: %w", pt.b.Stmt, err)
+				}
+				t.Digest = ckpt.HashBytes(data)
+				payloads[t.Digest] = data
+			}
+			tileBytes += size
+			mx.Tiles = append(mx.Tiles, t)
+		}
+		man.Matrices = append(man.Matrices, mx)
+	}
+	for n := 0; n < e.cfg.Cluster.Nodes; n++ {
+		if !e.fs.NodeAlive(n) {
+			man.DeadNodes = append(man.DeadNodes, n)
+		}
+	}
+	// The checkpoint streams every tile back to durable storage; model it
+	// as one cluster-wide write of the checkpointed bytes at replication
+	// cost, serialized on the global clock (it is a barrier).
+	repl := int64(e.cfg.Replication)
+	if n := int64(e.cfg.Cluster.Nodes); repl > n {
+		repl = n
+	}
+	dur := e.cfg.Cluster.Type.TaskSeconds(e.cfg.Cluster.Slots, 0, tileBytes, tileBytes*(repl-1))
+	end := clock + dur
+	man.ClockSec = end
+	if err := man.Seal(); err != nil {
+		return 0, err
+	}
+	if e.cfg.CheckpointStore != nil {
+		if err := e.cfg.CheckpointStore.Save(&ckpt.Checkpoint{Manifest: man, Payloads: payloads}); err != nil {
+			return 0, fmt.Errorf("exec: checkpoint@s%d: %w", pt.b.Stmt, err)
+		}
+	}
+	if e.rec.Enabled() {
+		// Negative JobID keeps checkpoint spans out of the real jobs' ID
+		// space for the critical-path and timeline consumers.
+		name := fmt.Sprintf("checkpoint@s%d", pt.b.Stmt)
+		js := e.rec.Start(obs.KindJob, name, prog, clock)
+		e.rec.SetAttrs(js, obs.Attrs{JobID: -pt.b.Stmt})
+		ps := e.rec.Start(obs.KindPhase, name+"/p0", js, clock)
+		e.rec.SetAttrs(ps, obs.Attrs{JobID: -pt.b.Stmt, Phase: 0})
+		ts := e.rec.Start(obs.KindTask, name+"/t0", ps, clock)
+		var b obs.Breakdown
+		b[obs.CatCheckpoint] = dur
+		e.rec.SetAttrs(ts, obs.Attrs{
+			JobID: -pt.b.Stmt, Phase: 0, Index: 0, Node: -1, Slot: -1,
+			WriteBytes: tileBytes, Breakdown: b,
+		})
+		e.rec.End(ts, end)
+		e.rec.End(ps, end)
+		e.rec.End(js, end)
+	}
+	m.Checkpoints++
+	m.CheckpointBytes += tileBytes
+	m.CheckpointSeconds += dur
+	e.boundaryReset(pt.b.Stmt)
+	return end, nil
+}
+
+// restoreCheckpoint loads the newest valid checkpoint for this
+// (program, config) identity and rebuilds the boundary state: dead
+// nodes, tile placement and payloads, the chaos cursor, the random
+// streams, and the clock. Returns the boundary job ID and clock, or
+// ok=false when no checkpoint exists (the run starts from scratch).
+func (e *Engine) restoreCheckpoint(p *plan.Plan, m *RunMetrics) (resumeJob int, clock float64, ok bool, err error) {
+	c, err := e.cfg.CheckpointStore.Latest(e.progHash, e.cfgHash)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("exec: resume: %w", err)
+	}
+	if c == nil {
+		return 0, 0, false, nil
+	}
+	man := c.Manifest
+	// Stores validate on load; re-check here so a custom Store cannot
+	// hand the engine a corrupted manifest.
+	if err := man.Validate(); err != nil {
+		return 0, 0, false, fmt.Errorf("exec: resume: %w", err)
+	}
+	if man.Program != e.progHash || man.Config != e.cfgHash {
+		return 0, 0, false, fmt.Errorf("exec: resume: checkpoint identity mismatch")
+	}
+	match := false
+	for _, b := range p.Boundaries {
+		if b.Stmt == man.Stmt && b.LastJob == man.BoundaryJob {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return 0, 0, false, fmt.Errorf("exec: resume: manifest boundary (stmt %d, job %d) is not a boundary of this plan", man.Stmt, man.BoundaryJob)
+	}
+	// The manifest must cover exactly the outputs of the skipped jobs.
+	want := map[string]bool{}
+	for _, j := range p.Jobs {
+		if j.ID <= man.BoundaryJob {
+			want[j.Out.Name] = true
+		}
+	}
+	got := map[string]bool{}
+	for _, mx := range man.Matrices {
+		got[mx.Name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			return 0, 0, false, fmt.Errorf("exec: resume: manifest is missing matrix %s", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			return 0, 0, false, fmt.Errorf("exec: resume: manifest has unexpected matrix %s", name)
+		}
+	}
+	if e.cfg.Materialize {
+		if err := c.VerifyPayloads(); err != nil {
+			return 0, 0, false, fmt.Errorf("exec: resume: %w", err)
+		}
+	}
+	// Dead nodes first, so rehydration never triggers re-replication:
+	// the recorded placements are already post-recovery.
+	for _, n := range man.DeadNodes {
+		if n >= e.cfg.Cluster.Nodes {
+			return 0, 0, false, fmt.Errorf("exec: resume: dead node %d outside cluster of %d", n, e.cfg.Cluster.Nodes)
+		}
+		e.fs.MarkDead(n)
+	}
+	for _, mx := range man.Matrices {
+		for _, t := range mx.Tiles {
+			var data []byte
+			if e.cfg.Materialize {
+				if t.Digest == "" {
+					return 0, 0, false, fmt.Errorf("exec: resume: tile %s has no payload (checkpoint from a virtual run)", t.Path)
+				}
+				data = c.Payloads[t.Digest]
+				if data == nil {
+					return 0, 0, false, fmt.Errorf("exec: resume: missing payload for %s", t.Path)
+				}
+			}
+			if err := e.fs.WritePlaced(t.Path, data, t.Bytes, t.Replicas); err != nil {
+				return 0, 0, false, fmt.Errorf("exec: resume: %w", err)
+			}
+		}
+	}
+	e.chaos.SkipDelivered(man.ChaosDelivered)
+	e.boundaryReset(man.Stmt)
+	m.ResumedFromStmt = man.Stmt
+	for _, j := range p.Jobs {
+		if j.ID <= man.BoundaryJob {
+			m.ResumeSkippedJobs++
+		}
+	}
+	return man.BoundaryJob, man.ClockSec, true, nil
+}
+
+// allSlots builds slot states for every node, dead ones flagged. The
+// resume path uses it instead of liveSlots so that global slot indices
+// match the uninterrupted run's (which built its slots before any node
+// died).
+func (e *Engine) allSlots() []*slotState {
+	var slots []*slotState
+	for n := 0; n < e.cfg.Cluster.Nodes; n++ {
+		dead := !e.fs.NodeAlive(n)
+		for s := 0; s < e.cfg.Cluster.Slots; s++ {
+			slots = append(slots, &slotState{node: n, dead: dead})
+		}
+	}
+	return slots
+}

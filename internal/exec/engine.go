@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"cumulon/internal/chaos"
+	"cumulon/internal/ckpt"
 	"cumulon/internal/cloud"
 	"cumulon/internal/compute"
 	"cumulon/internal/dfs"
@@ -112,6 +113,26 @@ type Config struct {
 	// at zero cost. Spans are recorded only from the scheduling
 	// goroutine, so traces are deterministic regardless of Backend.
 	Recorder obs.Recorder
+	// CheckpointEvery, when positive, takes a program-level checkpoint at
+	// every CheckpointEvery-th iteration boundary of the plan (package
+	// lang's `checkpoint` markers): the matrices materialized so far are
+	// persisted with their exact block placement, the write is charged to
+	// the virtual clock as a checkpoint span, and the engine's random
+	// streams reseed at the boundary so a resumed run replays the same
+	// tail. 0 (the default) disables checkpointing entirely — no
+	// barriers, no reseeds, byte-identical to pre-checkpoint engines.
+	CheckpointEvery int
+	// CheckpointStore persists checkpoints across runs. nil with
+	// CheckpointEvery > 0 still performs the boundary barriers (so a run
+	// can serve as the bit-identity oracle for a resumed one) but keeps
+	// nothing.
+	CheckpointStore ckpt.Store
+	// Resume, before running any job, loads the newest valid checkpoint
+	// matching this exact program and configuration from CheckpointStore
+	// and fast-forwards past the jobs it covers. Requires
+	// CheckpointEvery > 0 and a CheckpointStore. Without a matching
+	// checkpoint the run silently starts from scratch.
+	Resume bool
 }
 
 // Float returns a pointer to v, for the Config fields where an explicit
@@ -163,6 +184,9 @@ type Engine struct {
 	backend compute.Backend
 	env     compute.Env
 	rec     obs.Recorder
+	// progHash and cfgHash identify the (program, configuration) pair a
+	// checkpoint belongs to; set per Run when checkpointing is active.
+	progHash, cfgHash string
 }
 
 // New creates an engine with a fresh DFS sized to the cluster.
@@ -252,6 +276,10 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	points, err := e.checkpointSetup(p)
+	if err != nil {
+		return nil, err
+	}
 	// Overwrite semantics for re-runs; caches cannot carry stale tiles
 	// across runs.
 	for _, j := range jobs {
@@ -259,14 +287,43 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 	}
 	e.resetCaches()
 	m := &RunMetrics{}
-	slots := e.liveSlots()
-	if len(slots) == 0 {
+	resumeJob := -1
+	startClock := 0.0
+	if e.cfg.Resume {
+		rj, clock, ok, err := e.restoreCheckpoint(p, m)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			resumeJob, startClock = rj, clock
+		}
+	}
+	var slots []*slotState
+	if resumeJob >= 0 {
+		// Keep every node's slots (dead ones flagged) so global slot
+		// indices match the uninterrupted run's.
+		slots = e.allSlots()
+	} else {
+		slots = e.liveSlots()
+	}
+	alive := 0
+	for _, s := range slots {
+		if !s.dead {
+			alive++
+		}
+	}
+	if alive == 0 {
 		return nil, fmt.Errorf("exec: no live nodes")
 	}
+	killAt := e.chaos.KillProgramAt()
 	prog := e.rec.Start(obs.KindProgram, "program", obs.NoSpan, 0)
 	jobEnds := map[int]float64{}
-	globalEnd := 0.0
+	globalEnd := startClock
 	for _, j := range jobs {
+		if j.ID <= resumeJob {
+			jobEnds[j.ID] = startClock
+			continue
+		}
 		if err := j.Split.Validate(j.ITiles(), j.JTiles(), j.KTiles(), j.Kind); err != nil {
 			return nil, err
 		}
@@ -281,6 +338,9 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 				}
 			}
 		}
+		if killAt > 0 && ready >= killAt {
+			return nil, &ProgramKilled{At: killAt, Clock: ready, NextJob: j.ID}
+		}
 		end, err := e.runJob(j, ready, slots, m, prog)
 		if err != nil {
 			return nil, fmt.Errorf("exec: %s: %w", j, err)
@@ -288,6 +348,12 @@ func (e *Engine) Run(p *plan.Plan) (*RunMetrics, error) {
 		jobEnds[j.ID] = end
 		if end > globalEnd {
 			globalEnd = end
+		}
+		if pt, ok := points[j.ID]; ok {
+			globalEnd, err = e.writeCheckpoint(p, pt, globalEnd, m, prog)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	m.TotalSeconds = globalEnd

@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cumulon/internal/ckpt"
 	"cumulon/internal/linalg"
 	"cumulon/internal/obs"
+	"cumulon/internal/plan"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
@@ -65,6 +67,67 @@ func TestGoldenGNMFTrace(t *testing.T) {
 			t.Errorf("%s drifted from golden (%d bytes now vs %d recorded): "+
 				"engine accounting or trace layout changed; if intended, re-record with -update-golden",
 				g.path, len(g.got), len(want))
+		}
+	}
+}
+
+// TestGoldenGNMFTraceCheckpointOff reruns the golden comparison with the
+// checkpoint machinery attached but disabled: a checkpoint store is
+// configured (as cumulond always does) yet CheckpointEvery is 0, the
+// default. The goldens are recorded without any of that, so a single
+// byte of drift means a disabled checkpoint path leaked barriers, spans
+// or metrics into plain runs. Nothing is ever re-recorded from this
+// test.
+func TestGoldenGNMFTraceCheckpointOff(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are recorded by TestGoldenGNMFTrace only")
+	}
+	tr := obs.NewTrace()
+	store := ckpt.NewMemStore()
+	e, err := New(Config{
+		Cluster:         testCluster(t, 4, 2),
+		Materialize:     true,
+		Seed:            7,
+		NoiseFactor:     0.08,
+		RackSize:        2,
+		CacheFraction:   0.4,
+		Speculation:     true,
+		Recorder:        tr,
+		CheckpointEvery: 0, // off: the default must be a strict no-op
+		CheckpointStore: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, _ := runProgram(t, e, gnmfSrc,
+		plan.Config{Densities: map[string]float64{"V": 0.25}},
+		gnmfData(), 8)
+	if m.Checkpoints != 0 || m.CheckpointBytes != 0 || m.ResumedFromStmt != 0 {
+		t.Fatalf("disabled checkpointing still did work: %+v", m)
+	}
+
+	var trace bytes.Buffer
+	if err := tr.WriteChrome(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if err := obs.Snapshot(tr).Write(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		path string
+		got  []byte
+	}{
+		{filepath.Join("testdata", "golden_gnmf_trace.json"), trace.Bytes()},
+		{filepath.Join("testdata", "golden_gnmf_metrics.txt"), metrics.Bytes()},
+	} {
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden file (record with TestGoldenGNMFTrace -update-golden): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted with checkpointing disabled (%d bytes now vs %d recorded): "+
+				"CheckpointEvery=0 must leave runs untouched", g.path, len(g.got), len(want))
 		}
 	}
 }

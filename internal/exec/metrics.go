@@ -68,6 +68,20 @@ type RunMetrics struct {
 	// BlocksLost counts blocks whose every replica died (they stay
 	// unavailable; tasks reading them fail).
 	BlocksLost int
+	// Checkpoints counts program-level checkpoints written this run
+	// (only nonzero with Config.CheckpointEvery).
+	Checkpoints int
+	// CheckpointBytes counts tile bytes captured by those checkpoints.
+	CheckpointBytes int64
+	// CheckpointSeconds sums the virtual time the run spent writing
+	// checkpoints (the CatCheckpoint critical-path category).
+	CheckpointSeconds float64
+	// ResumedFromStmt is the boundary statement the run resumed from
+	// (0 when the run started from scratch).
+	ResumedFromStmt int
+	// ResumeSkippedJobs counts jobs skipped because a checkpoint already
+	// covered them.
+	ResumeSkippedJobs int
 }
 
 // TimelineCSV writes one row per task — placement, timing, flops, the

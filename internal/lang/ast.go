@@ -161,6 +161,26 @@ type Program struct {
 	Inputs  []Input
 	Stmts   []Assign
 	Outputs []string
+	// Boundaries marks iteration boundaries for program-level
+	// checkpointing: each entry b means "a checkpoint may be taken after
+	// the first b statements" (0 <= b <= len(Stmts), strictly
+	// increasing). The textual syntax writes a boundary as a bare
+	// `checkpoint` line; workload builders append one per outer-loop
+	// iteration. Boundaries are advisory — execution ignores them unless
+	// checkpointing is enabled — so programs with and without markers
+	// compute identical results.
+	Boundaries []int
+}
+
+// BoundaryAt reports whether a checkpoint boundary sits after the first
+// n statements.
+func (p *Program) BoundaryAt(n int) bool {
+	for _, b := range p.Boundaries {
+		if b == n {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate type-checks the program: every referenced variable must be
@@ -192,6 +212,16 @@ func (p *Program) Validate() (map[string]Shape, error) {
 	}
 	if len(p.Outputs) == 0 {
 		return nil, fmt.Errorf("lang: program %q has no outputs", p.Name)
+	}
+	prev := -1
+	for _, b := range p.Boundaries {
+		if b < 0 || b > len(p.Stmts) {
+			return nil, fmt.Errorf("lang: checkpoint boundary %d out of range (program has %d statements)", b, len(p.Stmts))
+		}
+		if b <= prev {
+			return nil, fmt.Errorf("lang: checkpoint boundaries must be strictly increasing (got %d after %d)", b, prev)
+		}
+		prev = b
 	}
 	for _, o := range p.Outputs {
 		if _, ok := env[o]; !ok {
@@ -341,8 +371,14 @@ func (p *Program) String() string {
 		}
 		fmt.Fprintf(&b, "input %s %d %d%s\n", in.Name, in.Rows, in.Cols, kind)
 	}
-	for _, st := range p.Stmts {
+	for i, st := range p.Stmts {
+		if p.BoundaryAt(i) {
+			b.WriteString("checkpoint\n")
+		}
 		fmt.Fprintf(&b, "%s = %s\n", st.Name, st.Expr)
+	}
+	if p.BoundaryAt(len(p.Stmts)) {
+		b.WriteString("checkpoint\n")
 	}
 	for _, o := range p.Outputs {
 		fmt.Fprintf(&b, "output %s\n", o)

@@ -21,7 +21,9 @@ import (
 // Iteration counts are literal: `for` loops unroll at parse time (Cumulon
 // optimizes and executes whole iterative programs as one plan). Loops may
 // nest; the loop variable is purely a counter and is not substitutable
-// into expressions.
+// into expressions. A bare `checkpoint` line marks an iteration boundary
+// for program-level checkpointing; inside a loop it unrolls into one
+// boundary per iteration.
 //
 // Grammar (expressions, by precedence, loosest first):
 //
@@ -34,20 +36,34 @@ import (
 // "0.5 * A"); bare numbers are only valid in that position.
 func Parse(src string) (*Program, error) {
 	p := &Program{}
-	// loopStack holds the statements being accumulated by enclosing for
-	// loops, innermost last; each entry remembers its repeat count.
+	// loopStack holds the items being accumulated by enclosing for loops,
+	// innermost last; each entry remembers its repeat count. An item is
+	// either an assignment or a checkpoint marker, so markers survive
+	// unrolling (one boundary per unrolled iteration).
+	type item struct {
+		st   Assign
+		mark bool
+	}
 	type frame struct {
 		count int
-		stmts []Assign
+		items []item
 	}
 	var stack []*frame
-	emit := func(st Assign) {
+	emit := func(it item) {
 		if len(stack) > 0 {
 			top := stack[len(stack)-1]
-			top.stmts = append(top.stmts, st)
+			top.items = append(top.items, it)
 			return
 		}
-		p.Stmts = append(p.Stmts, st)
+		if it.mark {
+			// Adjacent markers collapse: a boundary is a position, not an
+			// instruction, so repeating it is a no-op.
+			if n := len(p.Boundaries); n == 0 || p.Boundaries[n-1] != len(p.Stmts) {
+				p.Boundaries = append(p.Boundaries, len(p.Stmts))
+			}
+			return
+		}
+		p.Stmts = append(p.Stmts, it.st)
 	}
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := strings.TrimSpace(raw)
@@ -84,6 +100,8 @@ func Parse(src string) (*Program, error) {
 				return nil, fmt.Errorf("lang: line %d: %w", lineNo+1, err)
 			}
 			stack = append(stack, &frame{count: count})
+		case line == "checkpoint":
+			emit(item{mark: true})
 		case line == "}":
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("lang: line %d: unmatched '}'", lineNo+1)
@@ -91,8 +109,8 @@ func Parse(src string) (*Program, error) {
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for i := 0; i < top.count; i++ {
-				for _, st := range top.stmts {
-					emit(st)
+				for _, it := range top.items {
+					emit(it)
 				}
 			}
 		default:
@@ -108,7 +126,7 @@ func Parse(src string) (*Program, error) {
 			if err != nil {
 				return nil, fmt.Errorf("lang: line %d: %w", lineNo+1, err)
 			}
-			emit(Assign{Name: name, Expr: expr})
+			emit(item{st: Assign{Name: name, Expr: expr}})
 		}
 	}
 	if len(stack) > 0 {

@@ -88,6 +88,9 @@ const (
 	// CatRecovery is time lost to failure handling: failed task attempts,
 	// retry backoff and the startup of replacement attempts.
 	CatRecovery
+	// CatCheckpoint is time spent writing program-level checkpoints: the
+	// durable manifest plus any live tiles not already on the DFS.
+	CatCheckpoint
 	// NumCategories sizes Breakdown arrays.
 	NumCategories
 )
@@ -110,6 +113,8 @@ func (c Category) String() string {
 		return "queue"
 	case CatRecovery:
 		return "recovery"
+	case CatCheckpoint:
+		return "checkpoint"
 	}
 	return "?"
 }

@@ -72,6 +72,12 @@ func Compile(p *lang.Program, cfg Config) (*Plan, error) {
 		if err := l.lowerAssign(si, st); err != nil {
 			return nil, err
 		}
+		// Project iteration boundaries onto the job list as statements
+		// complete. A boundary before the first statement has no jobs to
+		// checkpoint and is dropped.
+		if p.BoundaryAt(si+1) && len(l.plan.Jobs) > 0 {
+			l.plan.Boundaries = append(l.plan.Boundaries, Boundary{Stmt: si + 1, LastJob: len(l.plan.Jobs) - 1})
+		}
 	}
 	for _, o := range p.Outputs {
 		l.plan.Outputs[o] = l.metaEnv[o]

@@ -199,6 +199,47 @@ type Plan struct {
 	// from the program before lowering (nil when the pass was disabled or
 	// found nothing).
 	Rewrites *RewriteReport
+	// Boundaries are the program's iteration boundaries projected onto
+	// the job list, in job order: a checkpoint may be taken after
+	// LastJob completes. Empty when the program declares no boundaries.
+	Boundaries []Boundary
+}
+
+// Boundary is one checkpointable position of a plan: the state after
+// the first Stmt statements of the (possibly CSE-rewritten) program,
+// reached when job LastJob (and all before it) has completed.
+type Boundary struct {
+	// Stmt counts completed program statements at the boundary.
+	Stmt int
+	// LastJob is the highest job ID completed at the boundary.
+	LastJob int
+}
+
+// LiveAt returns the stored matrices that must exist for execution to
+// continue after the boundary job b: outputs of jobs with ID <= b that
+// are read by a job with ID > b or are program outputs. It is a pure
+// function of the plan, so a resuming engine derives the same set the
+// checkpointing engine persisted.
+func (p *Plan) LiveAt(b int) []store.Meta {
+	needed := map[string]bool{}
+	for _, m := range p.Outputs {
+		needed[m.Name] = true
+	}
+	for _, j := range p.Jobs {
+		if j.ID <= b {
+			continue
+		}
+		for _, in := range j.InputMetas() {
+			needed[in.Name] = true
+		}
+	}
+	var live []store.Meta
+	for _, j := range p.Jobs {
+		if j.ID <= b && needed[j.Out.Name] {
+			live = append(live, j.Out)
+		}
+	}
+	return live
 }
 
 // JobByID returns the job with the given id, or nil.

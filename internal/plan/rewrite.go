@@ -373,6 +373,13 @@ func CSE(p *lang.Program) (*lang.Program, *RewriteReport, error) {
 		versions[in.Name] = 1
 	}
 	for i, st := range p.Stmts {
+		// Checkpoint boundaries keep their position relative to original
+		// statements: a boundary after the first i statements lands before
+		// any temp hoisted into statement i (the temp is part of that
+		// statement's work).
+		if p.BoundaryAt(i) {
+			out.Boundaries = append(out.Boundaries, len(out.Stmts))
+		}
 		for _, ci := range winners {
 			if ci.firstStmt != i {
 				continue
@@ -402,6 +409,9 @@ func CSE(p *lang.Program) (*lang.Program, *RewriteReport, error) {
 		}
 		out.Stmts = append(out.Stmts, lang.Assign{Name: st.Name, Expr: e})
 		versions[st.Name]++
+	}
+	if p.BoundaryAt(len(p.Stmts)) {
+		out.Boundaries = append(out.Boundaries, len(out.Stmts))
 	}
 	if _, err := out.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("plan: CSE produced an invalid program: %w", err)

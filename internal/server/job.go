@@ -100,6 +100,13 @@ type SubmitRequest struct {
 	// bounds per-task retry attempts under faults (0 = engine default).
 	Chaos      string `json:"chaos,omitempty"`
 	MaxRetries int    `json:"max_retries,omitempty"`
+
+	// CheckpointEvery, when positive, checkpoints the program at every
+	// Nth iteration boundary into the server's checkpoint store
+	// (durable under Config.StateDir) and resumes from the newest valid
+	// checkpoint when the job is re-executed — e.g. re-admitted after a
+	// server restart. Results are bit-identical either way.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // OutputInfo describes one output matrix of a materialized job. SHA256
@@ -125,6 +132,11 @@ type JobResult struct {
 	// Outputs lists materialized outputs sorted by name (empty for
 	// virtual runs).
 	Outputs []OutputInfo `json:"outputs,omitempty"`
+	// Checkpoints counts program checkpoints written during the run;
+	// ResumedStmt is the boundary statement the run resumed from (0 when
+	// it ran from the start). Only set for jobs with CheckpointEvery.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	ResumedStmt int `json:"resumed_stmt,omitempty"`
 }
 
 // JobStatus is the client-visible view of a job (GET /v1/jobs/{id}).
@@ -195,6 +207,8 @@ func resultFrom(res *core.ExecResult) *JobResult {
 		Jobs:         len(res.Metrics.Jobs),
 		Tasks:        tasks,
 		Outputs:      outputInfos(res.Outputs),
+		Checkpoints:  res.Metrics.Checkpoints,
+		ResumedStmt:  res.Metrics.ResumedFromStmt,
 	}
 }
 
@@ -250,11 +264,12 @@ func (s *jobStore) get(id string) (*job, bool) {
 }
 
 // prune drops the oldest terminal jobs until at most keep terminal jobs
-// remain, returning how many were removed. Queued and running jobs are
-// never pruned. keep <= 0 disables pruning.
-func (s *jobStore) prune(keep int) int {
+// remain, returning the removed IDs (so durable stores can journal the
+// deletions). Queued and running jobs are never pruned. keep <= 0
+// disables pruning.
+func (s *jobStore) prune(keep int) []string {
 	if keep <= 0 {
-		return 0
+		return nil
 	}
 	terminal := 0
 	for _, id := range s.order {
@@ -262,9 +277,9 @@ func (s *jobStore) prune(keep int) int {
 			terminal++
 		}
 	}
-	removed := 0
+	var removed []string
 	if terminal <= keep {
-		return 0
+		return nil
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
@@ -272,13 +287,13 @@ func (s *jobStore) prune(keep int) int {
 		if terminal > keep && j.state.Terminal() {
 			delete(s.jobs, id)
 			terminal--
-			removed++
+			removed = append(removed, id)
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
-	s.pruned += int64(removed)
+	s.pruned += int64(len(removed))
 	return removed
 }
 

@@ -206,10 +206,15 @@ type JobOutcome struct {
 
 // TenantReport aggregates one tenant's outcomes.
 type TenantReport struct {
-	Tenant      string  `json:"tenant"`
-	Submitted   int     `json:"submitted"`
-	Completed   int     `json:"completed"`
-	Failed      int     `json:"failed"`
+	Tenant    string `json:"tenant"`
+	Submitted int    `json:"submitted"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// Canceled counts jobs that ended canceled: an explicit client (or
+	// operator) action, not a server error, so they are tallied apart
+	// from failures — but they still mean the run did not complete
+	// everything.
+	Canceled    int     `json:"canceled"`
 	MaxWaitSec  float64 `json:"max_wait_sec"`
 	MeanWaitSec float64 `json:"mean_wait_sec"`
 	// ServiceShare is the tenant's fraction of all service charged;
@@ -230,7 +235,8 @@ type LoadReport struct {
 	DurationSec float64        `json:"duration_sec"`
 	Tenants     []TenantReport `json:"tenants"`
 	Cache       CacheStats     `json:"cache"`
-	// AllCompleted is true when every submitted job succeeded.
+	// AllCompleted is true when every submitted job succeeded (a failed
+	// or canceled job clears it).
 	AllCompleted bool `json:"all_completed"`
 	// Starved lists jobs whose admission-to-start wait exceeded the
 	// spec's MaxWaitSec bound.
@@ -267,7 +273,7 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 	}
 	wg.Wait()
 
-	rep := &LoadReport{DurationSec: time.Since(start).Seconds(), AllCompleted: true}
+	rep := &LoadReport{DurationSec: time.Since(start).Seconds()}
 	stats, err := fetchStats(client, baseURL)
 	if err != nil {
 		return nil, err
@@ -283,6 +289,35 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 		totalService += ts.Service
 		totalWeight += ts.Weight
 	}
+	reports, starved, allCompleted := aggregateOutcomes(outcomes, spec.MaxWaitSec)
+	rep.Starved = starved
+	rep.AllCompleted = allCompleted
+	quantiles, err := fetchE2EQuantiles(client, baseURL)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range reports {
+		if totalService > 0 {
+			tr.ServiceShare = serviceOf[tr.Tenant] / totalService
+		}
+		if totalWeight > 0 {
+			tr.WeightShare = weightOf[tr.Tenant] / totalWeight
+		}
+		if q, ok := quantiles[tr.Tenant]; ok {
+			tr.P50Sec, tr.P95Sec, tr.P99Sec = q[0], q[1], q[2]
+		}
+		rep.Tenants = append(rep.Tenants, *tr)
+	}
+	return rep, nil
+}
+
+// aggregateOutcomes folds job outcomes into per-tenant reports (sorted
+// by tenant name, waits averaged) plus the jobs that starved past
+// maxWaitSec. Succeeded jobs count as Completed, canceled jobs as
+// Canceled, everything else as Failed; allCompleted holds only when
+// every job succeeded.
+func aggregateOutcomes(outcomes []JobOutcome, maxWaitSec float64) (reports []*TenantReport, starved []JobOutcome, allCompleted bool) {
+	allCompleted = true
 	byTenant := map[string]*TenantReport{}
 	var names []string
 	for _, o := range outcomes {
@@ -293,23 +328,23 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 			names = append(names, o.Tenant)
 		}
 		tr.Submitted++
-		if o.State == StateSucceeded {
+		switch o.State {
+		case StateSucceeded:
 			tr.Completed++
-		} else {
+		case StateCanceled:
+			tr.Canceled++
+			allCompleted = false
+		default:
 			tr.Failed++
-			rep.AllCompleted = false
+			allCompleted = false
 		}
 		tr.MeanWaitSec += o.WaitSec
 		if o.WaitSec > tr.MaxWaitSec {
 			tr.MaxWaitSec = o.WaitSec
 		}
-		if o.WaitSec > spec.MaxWaitSec {
-			rep.Starved = append(rep.Starved, o)
+		if o.WaitSec > maxWaitSec {
+			starved = append(starved, o)
 		}
-	}
-	quantiles, err := fetchE2EQuantiles(client, baseURL)
-	if err != nil {
-		return nil, err
 	}
 	sort.Strings(names)
 	for _, n := range names {
@@ -317,18 +352,9 @@ func RunLoad(baseURL string, spec *LoadSpec) (*LoadReport, error) {
 		if tr.Submitted > 0 {
 			tr.MeanWaitSec /= float64(tr.Submitted)
 		}
-		if totalService > 0 {
-			tr.ServiceShare = serviceOf[n] / totalService
-		}
-		if totalWeight > 0 {
-			tr.WeightShare = weightOf[n] / totalWeight
-		}
-		if q, ok := quantiles[n]; ok {
-			tr.P50Sec, tr.P95Sec, tr.P99Sec = q[0], q[1], q[2]
-		}
-		rep.Tenants = append(rep.Tenants, *tr)
+		reports = append(reports, tr)
 	}
-	return rep, nil
+	return reports, starved, allCompleted
 }
 
 // fetchE2EQuantiles reads /metrics.json and computes each tenant's
@@ -538,11 +564,11 @@ func decodeResponse(resp *http.Response, into any) error {
 // Write renders the report as a human-readable per-tenant table.
 func (r *LoadReport) Write(w io.Writer) error {
 	fmt.Fprintf(w, "load run: %.1fs wall\n", r.DurationSec)
-	fmt.Fprintf(w, "%-12s %9s %9s %6s %10s %10s %8s %8s %9s %9s\n",
-		"tenant", "submitted", "completed", "failed", "maxwait(s)", "meanwait(s)", "p50(s)", "p95(s)", "svc-share", "wt-share")
+	fmt.Fprintf(w, "%-12s %9s %9s %6s %8s %10s %10s %8s %8s %9s %9s\n",
+		"tenant", "submitted", "completed", "failed", "canceled", "maxwait(s)", "meanwait(s)", "p50(s)", "p95(s)", "svc-share", "wt-share")
 	for _, t := range r.Tenants {
-		fmt.Fprintf(w, "%-12s %9d %9d %6d %10.3f %10.3f %8.3f %8.3f %8.1f%% %8.1f%%\n",
-			t.Tenant, t.Submitted, t.Completed, t.Failed,
+		fmt.Fprintf(w, "%-12s %9d %9d %6d %8d %10.3f %10.3f %8.3f %8.3f %8.1f%% %8.1f%%\n",
+			t.Tenant, t.Submitted, t.Completed, t.Failed, t.Canceled,
 			t.MaxWaitSec, t.MeanWaitSec, t.P50Sec, t.P95Sec, 100*t.ServiceShare, 100*t.WeightShare)
 	}
 	fmt.Fprintf(w, "plan cache: %d hits, %d misses; deployment cache: %d hits, %d misses\n",
@@ -554,13 +580,15 @@ func (r *LoadReport) Write(w io.Writer) error {
 		}
 	}
 	if !r.AllCompleted {
-		fmt.Fprintln(w, "FAILED jobs present")
+		fmt.Fprintln(w, "FAILED or CANCELED jobs present")
 	}
 	return nil
 }
 
 // Healthy reports whether the run completed everything without
-// starvation (and optionally with plan-cache hits).
+// starvation (and optionally with plan-cache hits). Failed jobs are
+// reported ahead of canceled ones: a failure is a server-side error
+// while a cancellation was asked for, but neither is a completed run.
 func (r *LoadReport) Healthy(requireCacheHits bool) error {
 	if !r.AllCompleted {
 		for _, t := range r.Tenants {
@@ -568,7 +596,12 @@ func (r *LoadReport) Healthy(requireCacheHits bool) error {
 				return fmt.Errorf("load: tenant %s had %d failed job(s)", t.Tenant, t.Failed)
 			}
 		}
-		return fmt.Errorf("load: failed jobs present")
+		for _, t := range r.Tenants {
+			if t.Canceled > 0 {
+				return fmt.Errorf("load: tenant %s had %d canceled job(s)", t.Tenant, t.Canceled)
+			}
+		}
+		return fmt.Errorf("load: incomplete jobs present")
 	}
 	if len(r.Starved) > 0 {
 		return fmt.Errorf("load: %d job(s) starved past the wait bound", len(r.Starved))

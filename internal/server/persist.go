@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cumulon/internal/cloud"
+	"cumulon/internal/lang"
+	"cumulon/internal/opt"
+)
+
+// Job-store durability: cumulond configured with a state directory
+// journals every job transition and recovers the store on boot, so a
+// killed server comes back with its full job history, re-queues jobs
+// that were waiting, and re-admits jobs that were running (which then
+// resume from their program checkpoints, see internal/ckpt).
+//
+// Layout under <state-dir>/jobs, generation-rotated:
+//
+//	snapshot-<gen>.json   full store state at boot of generation gen
+//	journal-<gen>.jsonl   one record per transition since that snapshot
+//
+// Boot loads the newest readable snapshot, replays its journal
+// (tolerating a torn final line from the crash), reconciles, writes
+// snapshot-<gen+1> atomically, and starts journaling to
+// journal-<gen+1>; older generations are then deleted. A record is
+// a full upsert of one job, so replay is last-write-wins and a crash
+// between any two writes loses at most the final transition.
+
+// persistedJob is one job as the journal and snapshot record it: the
+// normalized request (defaults already applied at admission), the
+// lifecycle state, the client-visible status, and any retained
+// artifacts.
+type persistedJob struct {
+	ID        string          `json:"id"`
+	Req       SubmitRequest   `json:"req"`
+	State     JobState        `json:"state"`
+	Status    JobStatus       `json:"status"`
+	Artifacts *persistedFiles `json:"artifacts,omitempty"`
+}
+
+// persistedFiles carries a terminal job's retained artifact bytes
+// (JSON base64-encodes them).
+type persistedFiles struct {
+	Trace    []byte `json:"trace,omitempty"`
+	Critpath []byte `json:"critpath,omitempty"`
+	Metrics  []byte `json:"metrics,omitempty"`
+	Explain  []byte `json:"explain,omitempty"`
+}
+
+// snapshotFile is the full store state at the start of a generation.
+type snapshotFile struct {
+	// Seq is the job-ID sequence high-water mark.
+	Seq int `json:"seq"`
+	// Jobs are in admission order.
+	Jobs []persistedJob `json:"jobs"`
+}
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	// Op is "put" (upsert Job) or "delete" (drop ID, from retention
+	// pruning).
+	Op string `json:"op"`
+	// Seq is the store's ID sequence at write time, so replay restores
+	// the high-water mark even when the newest job was later deleted.
+	Seq int           `json:"seq,omitempty"`
+	Job *persistedJob `json:"job,omitempty"`
+	ID  string        `json:"id,omitempty"`
+}
+
+// statePersister owns the journal file of the current generation.
+// put/remove are called under the server lock; disable() makes every
+// subsequent write a no-op (the crash test hook uses it to freeze the
+// on-disk state at the "kill" instant).
+type statePersister struct {
+	mu       sync.Mutex
+	dir      string
+	gen      int
+	f        *os.File
+	disabled bool
+}
+
+// openState loads the recovered store state from dir (creating it when
+// absent): the newest readable snapshot plus its journal replayed over
+// it. It does not write anything yet — the server reconciles the state
+// (re-queuing in-flight jobs) and then calls begin with the result.
+func openState(dir string) (*statePersister, *snapshotFile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("state dir: %w", err)
+	}
+	p := &statePersister{dir: dir}
+	gen, snap := newestSnapshot(dir)
+	replayJournal(filepath.Join(dir, journalName(gen)), snap)
+	p.gen = gen
+	return p, snap, nil
+}
+
+func snapshotName(gen int) string { return fmt.Sprintf("snapshot-%d.json", gen) }
+func journalName(gen int) string  { return fmt.Sprintf("journal-%d.jsonl", gen) }
+
+// newestSnapshot returns the highest generation whose snapshot file
+// parses, with that snapshot's state (generation 0 and an empty state
+// when none exists).
+func newestSnapshot(dir string) (int, *snapshotFile) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, &snapshotFile{}
+	}
+	var gens []int
+	for _, e := range ents {
+		name, ok := strings.CutPrefix(e.Name(), "snapshot-")
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, ".json")
+		if !ok {
+			continue
+		}
+		if g, err := strconv.Atoi(name); err == nil && g >= 1 {
+			gens = append(gens, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	for _, g := range gens {
+		raw, err := os.ReadFile(filepath.Join(dir, snapshotName(g)))
+		if err != nil {
+			continue
+		}
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			continue // torn snapshot write: fall back to the previous generation
+		}
+		return g, &snap
+	}
+	return 0, &snapshotFile{}
+}
+
+// replayJournal applies journal records onto snap in order, stopping at
+// the first malformed line (the torn tail of a crashed write). Upserts
+// keep first-seen (admission) order.
+func replayJournal(path string, snap *snapshotFile) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	index := map[string]int{}
+	for i, j := range snap.Jobs {
+		index[j.ID] = i
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return // torn tail; everything before it is intact
+		}
+		if rec.Seq > snap.Seq {
+			snap.Seq = rec.Seq
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Job == nil {
+				return
+			}
+			if i, ok := index[rec.Job.ID]; ok {
+				snap.Jobs[i] = *rec.Job
+			} else {
+				index[rec.Job.ID] = len(snap.Jobs)
+				snap.Jobs = append(snap.Jobs, *rec.Job)
+			}
+		case "delete":
+			if i, ok := index[rec.ID]; ok {
+				snap.Jobs = append(snap.Jobs[:i], snap.Jobs[i+1:]...)
+				delete(index, rec.ID)
+				for id, k := range index {
+					if k > i {
+						index[id] = k - 1
+					}
+				}
+			}
+		default:
+			return // unknown op: treat as corruption, stop replay
+		}
+	}
+}
+
+// begin starts the next generation: it writes the reconciled state as
+// the new snapshot (atomically), opens its journal for appending, and
+// removes older generations.
+func (p *statePersister) begin(snap *snapshotFile) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gen := p.gen + 1
+	enc, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("state snapshot: %w", err)
+	}
+	tmp := filepath.Join(p.dir, snapshotName(gen)+".tmp")
+	if err := os.WriteFile(tmp, enc, 0o644); err != nil {
+		return fmt.Errorf("state snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, snapshotName(gen))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("state snapshot: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(p.dir, journalName(gen)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("state journal: %w", err)
+	}
+	old := p.gen
+	p.gen, p.f = gen, f
+	// The new generation is durable; older ones are garbage.
+	for g := old; g >= 1; g-- {
+		os.Remove(filepath.Join(p.dir, snapshotName(g)))
+		os.Remove(filepath.Join(p.dir, journalName(g)))
+	}
+	return nil
+}
+
+// append writes one journal record and syncs it to disk.
+func (p *statePersister) append(rec journalRecord) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.disabled || p.f == nil {
+		return
+	}
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if _, err := p.f.Write(append(enc, '\n')); err != nil {
+		return
+	}
+	p.f.Sync()
+}
+
+// put journals an upsert of one job.
+func (p *statePersister) put(seq int, j persistedJob) {
+	p.append(journalRecord{Op: "put", Seq: seq, Job: &j})
+}
+
+// remove journals a retention-prune deletion.
+func (p *statePersister) remove(id string) {
+	p.append(journalRecord{Op: "delete", ID: id})
+}
+
+// disable freezes the on-disk state: every later write is dropped. The
+// crash-restart test uses it as the SIGKILL instant — transitions after
+// it never reach the journal, exactly as if the process had died.
+func (p *statePersister) disable() {
+	p.mu.Lock()
+	p.disabled = true
+	p.mu.Unlock()
+}
+
+// close closes the journal file.
+func (p *statePersister) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f != nil {
+		p.f.Close()
+		p.f = nil
+	}
+}
+
+// persistedOf renders a job for the journal. Callers hold s.mu.
+func (s *Server) persistedOf(j *job) persistedJob {
+	pj := persistedJob{ID: j.id, Req: j.req, State: j.state, Status: j.status}
+	if a := j.artifacts; a != nil {
+		pj.Artifacts = &persistedFiles{
+			Trace: a.trace, Critpath: a.critpath,
+			Metrics: a.metrics, Explain: a.explain,
+		}
+	}
+	return pj
+}
+
+// persistJob journals a job's current state. Callers hold s.mu.
+func (s *Server) persistJob(j *job) {
+	if s.persist == nil {
+		return
+	}
+	s.persist.put(s.store.seq, s.persistedOf(j))
+}
+
+// recover rebuilds the job store from a loaded state: terminal jobs
+// become history (artifacts restored, event streams closed with their
+// terminal event), and queued or running jobs are re-admitted — a job
+// that was mid-run when the server died is simply queued again, and
+// its execution resumes from the newest program checkpoint it wrote
+// (same program and configuration, so the checkpoint store covers it).
+// Called from New before the scheduler loop starts; no lock needed.
+func (s *Server) recover(snap *snapshotFile) {
+	s.store.seq = snap.Seq
+	for i := range snap.Jobs {
+		pj := &snap.Jobs[i]
+		if n, err := strconv.Atoi(strings.TrimPrefix(pj.ID, "j-")); err == nil && n > s.store.seq {
+			s.store.seq = n
+		}
+		j := &job{id: pj.ID, req: pj.Req, state: pj.State, status: pj.Status}
+		j.events = newEventLog(s.cfg.EventBuffer)
+		s.store.jobs[j.id] = j
+		s.store.order = append(s.store.order, j.id)
+		if pj.State.Terminal() {
+			if a := pj.Artifacts; a != nil {
+				j.artifacts = &artifactSet{
+					trace: a.Trace, critpath: a.Critpath,
+					metrics: a.Metrics, explain: a.Explain,
+				}
+				s.artifactOrder = append(s.artifactOrder, j.id)
+			}
+			// The pre-crash event stream is gone; close the recovered one
+			// with the terminal outcome so consumers still see completion.
+			switch pj.State {
+			case StateSucceeded:
+				ev := JobEvent{Type: EvDone}
+				if r := pj.Status.Result; r != nil {
+					ev.VirtualSec, ev.CostDollars = r.TotalSeconds, r.CostDollars
+				}
+				j.events.append(ev, true)
+			case StateFailed:
+				j.events.append(JobEvent{Type: EvFailed, Error: pj.Status.Error}, true)
+			case StateCanceled:
+				j.events.append(JobEvent{Type: EvCanceled}, true)
+			}
+			continue
+		}
+		s.readmit(j)
+	}
+}
+
+// readmit re-queues a recovered non-terminal job: the request was
+// already validated and normalized at its original admission, so only
+// the submit-time derivations (parse, optimizer search) rerun — both
+// deterministic, so an optimizing job gets the same deployment it had.
+func (s *Server) readmit(j *job) {
+	prog, err := lang.Parse(j.req.Program)
+	if err == nil {
+		_, err = prog.Validate()
+	}
+	if err == nil && j.req.Optimize {
+		cfg := planConfig(prog, j.req)
+		oreq := opt.Request{
+			Program: prog, PlanCfg: cfg,
+			DeadlineSec: j.req.DeadlineSec, BudgetDollars: j.req.BudgetDollars,
+			Confidence: j.req.Confidence, MaxNodes: j.req.MaxNodes,
+			Machines: []cloud.MachineType{s.machine},
+		}
+		var met bool
+		j.dep, met, _, err = s.searchDeployment(j.req.Program, cfg, oreq)
+		if err == nil && !met {
+			err = fmt.Errorf("optimize: constraint no longer satisfiable")
+		}
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.status.State = StateFailed
+		j.status.Error = fmt.Sprintf("recovery: %v", err)
+		j.events.append(JobEvent{Type: EvFailed, Error: j.status.Error}, true)
+		return
+	}
+	j.prog = prog
+	j.state = StateQueued
+	j.status.State = StateQueued
+	j.status.Error = ""
+	j.status.RunSec = 0
+	j.status.Result = nil
+	j.enqueued = s.now()
+	j.events.emit(JobEvent{Type: EvQueued, Nodes: j.req.Nodes})
+	s.sched.Push(SchedJob{
+		ID: j.id, Tenant: j.req.Tenant, Priority: j.req.Priority,
+		Nodes: j.req.Nodes, Enqueued: j.enqueued,
+	})
+}

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"cumulon/internal/chaos"
+	"cumulon/internal/ckpt"
 	"cumulon/internal/cloud"
 	"cumulon/internal/core"
 	"cumulon/internal/lang"
@@ -61,6 +63,14 @@ type Config struct {
 	EventBuffer int
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// StateDir makes the job store durable: job transitions are
+	// journaled under <StateDir>/jobs (write-ahead JSONL plus rotated
+	// snapshots) and program checkpoints persist under <StateDir>/ckpt.
+	// A restarted server recovers its job history, re-queues jobs that
+	// were waiting, and re-admits jobs that were running — which then
+	// resume from their newest program checkpoint. Empty disables
+	// durability (checkpoints, if requested, live in process memory).
+	StateDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,12 @@ type Server struct {
 	freeNodes int
 	running   int
 	closed    bool
+
+	// persist journals job transitions when Config.StateDir is set
+	// (nil otherwise); ckptStore receives program checkpoints of jobs
+	// that ask for them (durable under StateDir, in-memory otherwise).
+	persist   *statePersister
+	ckptStore ckpt.Store
 
 	maxWait map[string]float64 // per-tenant max queue wait seen
 	// artifactOrder lists jobs with retained artifacts, oldest first;
@@ -232,8 +248,34 @@ func New(cfg Config) (*Server, error) {
 	s.mEvictions = r.Counter("cumulond_plan_cache_evictions_total", "plan/deployment cache entries evicted by the LRU bound")
 	s.mPruned = r.Counter("cumulond_jobs_pruned_total", "terminal jobs removed by job-history retention")
 
+	if cfg.StateDir != "" {
+		cs, err := ckpt.NewDirStore(filepath.Join(cfg.StateDir, "ckpt"))
+		if err != nil {
+			return nil, err
+		}
+		s.ckptStore = cs
+		p, snap, err := openState(filepath.Join(cfg.StateDir, "jobs"))
+		if err != nil {
+			return nil, err
+		}
+		s.recover(snap)
+		// Reconciled state (running jobs re-queued, unparseable ones
+		// failed) becomes the new generation's snapshot.
+		cur := &snapshotFile{Seq: s.store.seq}
+		for _, id := range s.store.order {
+			cur.Jobs = append(cur.Jobs, s.persistedOf(s.store.jobs[id]))
+		}
+		if err := p.begin(cur); err != nil {
+			return nil, err
+		}
+		s.persist = p
+	} else {
+		s.ckptStore = ckpt.NewMemStore()
+	}
+
 	s.wg.Add(1)
 	go s.loop()
+	s.signal() // admit any recovered queued jobs
 	return s, nil
 }
 
@@ -249,6 +291,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.quit)
 	s.wg.Wait()
+	if s.persist != nil {
+		s.persist.close()
+	}
 }
 
 // now is the server clock: seconds since start.
@@ -288,6 +333,7 @@ func (s *Server) loop() {
 			s.freeNodes -= sj.Nodes
 			s.running++
 			s.observeStart(j.req.Tenant, j.status.QueueWaitSec)
+			s.persistJob(j)
 			j.events.emit(JobEvent{Type: EvAdmitted, Nodes: sj.Nodes})
 			s.wg.Add(1)
 			go s.runJob(j, sj)
@@ -375,6 +421,9 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	if req.MaxRetries < 0 {
 		return JobStatus{}, badRequest("admission: max_retries must be non-negative, got %d", req.MaxRetries)
 	}
+	if req.CheckpointEvery < 0 {
+		return JobStatus{}, badRequest("admission: checkpoint_every must be non-negative, got %d", req.CheckpointEvery)
+	}
 	if req.Chaos != "" {
 		if _, err := chaos.Parse(req.Chaos); err != nil {
 			return JobStatus{}, badRequest("admission: chaos: %v", err)
@@ -456,6 +505,7 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 		Nodes: req.Nodes, Enqueued: j.enqueued,
 	})
 	s.mSubmitted.Add(1, obs.Label{Key: "tenant", Value: req.Tenant})
+	s.persistJob(j)
 	s.signal()
 	return j.status, nil
 }
@@ -557,8 +607,14 @@ func (s *Server) runJob(j *job, sj *SchedJob) {
 	s.mRunHist.Observe(j.status.RunSec)
 	s.mE2EHist.Observe(j.status.QueueWaitSec + j.status.RunSec)
 	s.retainArtifacts(j, out.trace)
-	if n := s.store.prune(s.cfg.JobHistory); n > 0 {
-		s.mPruned.Add(float64(n))
+	s.persistJob(j)
+	if removed := s.store.prune(s.cfg.JobHistory); len(removed) > 0 {
+		s.mPruned.Add(float64(len(removed)))
+		if s.persist != nil {
+			for _, id := range removed {
+				s.persist.remove(id)
+			}
+		}
 	}
 	s.freeNodes += sj.Nodes
 	s.running--
@@ -636,6 +692,16 @@ func (s *Server) executeJob(j *job) (execOutcome, error) {
 		Recorder:       &runRecorder{inner: inner, log: j.events},
 		MaxTaskRetries: req.MaxRetries,
 	}
+	if req.CheckpointEvery > 0 {
+		// Checkpointing jobs always run with Resume: a first execution
+		// finds no checkpoint and runs from scratch; a re-execution (a
+		// job re-admitted after a server crash, or an identical
+		// resubmission) fast-forwards past the jobs its newest valid
+		// checkpoint covers, bit-identically.
+		opts.CheckpointEvery = req.CheckpointEvery
+		opts.CheckpointStore = s.ckptStore
+		opts.Resume = true
+	}
 	if req.Chaos != "" {
 		// Validated at admission; a fresh schedule per run keeps any
 		// consumption state private to this job.
@@ -669,6 +735,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		s.mCanceled.Add(1, obs.Label{Key: "tenant", Value: j.req.Tenant})
 		j.events.append(JobEvent{Type: EvCanceled}, true)
 		s.retainArtifacts(j, nil)
+		s.persistJob(j)
 		return j.status, nil
 	case StateRunning:
 		return JobStatus{}, &apiError{code: http.StatusConflict, msg: fmt.Sprintf("job %s is running and cannot be interrupted", id)}

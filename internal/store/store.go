@@ -67,6 +67,10 @@ func (m Meta) TilePath(ti, tj int) string {
 	return fmt.Sprintf("/matrix/%s/%d_%d", m.Name, ti, tj)
 }
 
+// MatrixPrefix returns the DFS path prefix under which every tile of
+// the named matrix lives.
+func MatrixPrefix(name string) string { return "/matrix/" + name + "/" }
+
 // DenseBytes estimates the total stored size of the matrix if dense.
 func (m Meta) DenseBytes() int64 { return int64(m.Rows) * int64(m.Cols) * 8 }
 

@@ -51,6 +51,7 @@ func GNMF(m, n, r, iters int, density float64) Workload {
 			assign("H", "H .* (W' * V) ./ ((W' * W) * H)"),
 			assign("W", "W .* (V * H') ./ (W * (H * H'))"),
 		)
+		p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	}
 	return Workload{Name: p.Name, Prog: p, Densities: map[string]float64{"V": density}}
 }
@@ -84,6 +85,7 @@ func GNMFKL(m, n, r, iters int, density float64) Workload {
 			assign("W", "W .* ((V ./ (W * H)) * H') ./ (U * H')"),
 			assign("H", "Hn"),
 		)
+		p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	}
 	return Workload{Name: p.Name, Prog: p, Densities: map[string]float64{"V": density}}
 }
@@ -104,8 +106,10 @@ func RSVD(m, n, k, power int) Workload {
 		Outputs: []string{"B"},
 	}
 	p.Stmts = append(p.Stmts, assign("B", "A * Omega"))
+	p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	for i := 0; i < power; i++ {
 		p.Stmts = append(p.Stmts, assign("B", "A * (A' * B)"))
+		p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	}
 	return Workload{Name: p.Name, Prog: p}
 }
@@ -126,6 +130,7 @@ func Regression(n, d, iters int, alpha float64) Workload {
 	}
 	for i := 0; i < iters; i++ {
 		p.Stmts = append(p.Stmts, assign("w", fmt.Sprintf("w - %g * (X' * (X * w - y))", alpha)))
+		p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	}
 	return Workload{Name: p.Name, Prog: p}
 }
@@ -173,6 +178,7 @@ func PageRank(n, iters int, density, alpha float64) Workload {
 	for i := 0; i < iters; i++ {
 		p.Stmts = append(p.Stmts,
 			assign("x", fmt.Sprintf("%g * (P * x) + %g * v", alpha, 1-alpha)))
+		p.Boundaries = append(p.Boundaries, len(p.Stmts))
 	}
 	return Workload{Name: p.Name, Prog: p, Densities: map[string]float64{"P": density}}
 }
